@@ -1,0 +1,12 @@
+"""Table 1: taxonomy of production node agents."""
+
+from conftest import run_and_print
+
+from repro.experiments import table1_taxonomy
+
+
+def test_table1_taxonomy(benchmark):
+    result = run_and_print(benchmark, table1_taxonomy)
+    assert sum(1 for _ in result.rows) == 6
+    total = sum(row["count"] for row in result.rows)
+    assert total == 77  # the paper's agent census

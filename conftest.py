@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed wheel.
+
+``pip install -e .`` is the supported path; this shim only matters in
+environments without build tooling (e.g. offline CI images).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,75 @@
+"""Scenario: SmartHarvest protecting a latency-critical primary VM.
+
+Reproduces the §6.3 story interactively: the agent harvests idle cores
+for an ElasticVM while an image-recognition primary (TailBench
+image-dnn) serves traffic; halfway through, the model is *broken* to
+always predict zero core need, and the safeguards contain the damage.
+
+Run:  python examples/harvesting_under_failures.py
+"""
+
+from repro.agents.harvest import SmartHarvestAgent
+from repro.core import SafeguardPolicy
+from repro.node.faults import ModelBreaker
+from repro.node.hypervisor import Hypervisor
+from repro.sim import Kernel, RngStreams
+from repro.sim.units import SEC
+from repro.workloads.tailbench import IMAGE_DNN, TailBenchWorkload
+
+DURATION_S = 240
+BREAK_AT_S = 120
+
+
+def run(label, agent=True, policy=SafeguardPolicy.all_enabled(),
+        break_model=False):
+    kernel = Kernel()
+    streams = RngStreams(seed=11)
+    hypervisor = Hypervisor(kernel, n_cores=8, history_horizon_us=SEC)
+    workload = TailBenchWorkload(
+        kernel, hypervisor, streams.get("workload"), IMAGE_DNN
+    ).start()
+    agent_obj = None
+    if agent:
+        breaker = ModelBreaker(broken_value=0) if break_model else None
+        agent_obj = SmartHarvestAgent(
+            kernel, hypervisor, streams.get("agent"), policy=policy,
+            breaker=breaker,
+        ).start()
+        if break_model:
+            kernel.call_later(BREAK_AT_S * SEC, breaker.arm)
+    kernel.run(until=DURATION_S * SEC)
+    p99 = workload.performance().value
+    harvested = hypervisor.snapshot().elastic_cus / SEC
+    return label, p99, harvested, agent_obj
+
+
+def main():
+    print(f"image-dnn primary VM, {DURATION_S}s simulated per scenario\n")
+    rows = [
+        run("no harvesting (baseline)", agent=False),
+        run("SmartHarvest, healthy model"),
+        run("SmartHarvest, model breaks at 120s (guarded)",
+            break_model=True),
+        run("SmartHarvest, model breaks at 120s (UNGUARDED)",
+            break_model=True, policy=SafeguardPolicy.none_enabled()),
+    ]
+    base_p99 = rows[0][1]
+    print(f"{'scenario':48s} {'P99':>8s} {'increase':>9s} "
+          f"{'harvested':>11s}")
+    for label, p99, harvested, _agent in rows:
+        print(
+            f"{label:48s} {p99:6.1f}ms {100 * (p99 / base_p99 - 1):+7.1f}%"
+            f" {harvested:8.0f}c-s"
+        )
+    guarded = rows[2][3].runtime.stats()
+    print(
+        f"\nguarded broken-model run: "
+        f"{guarded['model_safeguard_triggers']} model-safeguard triggers, "
+        f"{guarded['interceptions']} interceptions, "
+        f"{guarded['mitigations']} mitigations"
+    )
+    print("the safeguards turned a broken model into a bounded QoS blip")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Regenerate every table and figure of the paper in one go.
+
+This is the full evaluation driver.  Expect a few minutes of wall time;
+pass ``--quick`` for a shortened (less converged) pass.
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    fig1_overclock_vs_static,
+    fig2_invalid_data,
+    fig3_broken_model,
+    fig4_delayed_predictions,
+    fig5_actuator_safeguard,
+    fig6_broken_model,
+    fig6_delayed_predictions,
+    fig6_invalid_data,
+    fig7_smartmemory_vs_static,
+    fig8_memory_safeguards,
+    table1_taxonomy,
+    table2_learning_agents,
+)
+
+
+def main():
+    quick = "--quick" in sys.argv
+    scale = 0.33 if quick else 1.0
+
+    experiments = [
+        (table1_taxonomy, {}),
+        (table2_learning_agents, {}),
+        (fig1_overclock_vs_static, {"seconds": int(900 * scale)}),
+        (fig2_invalid_data, {"seconds": int(600 * scale)}),
+        (fig3_broken_model, {"seconds": int(600 * scale)}),
+        (fig4_delayed_predictions, {"seconds": int(300 * scale) + 200}),
+        (fig5_actuator_safeguard, {"seconds": int(900 * scale)}),
+        (fig6_invalid_data, {"seconds": int(240 * scale)}),
+        (fig6_broken_model, {"seconds": int(240 * scale)}),
+        (fig6_delayed_predictions, {"seconds": int(240 * scale)}),
+        (fig7_smartmemory_vs_static, {"seconds": int(1500 * scale)}),
+        (fig8_memory_safeguards, {"seconds": int(920 * scale)}),
+    ]
+    for experiment, kwargs in experiments:
+        started = time.time()
+        result = experiment(**kwargs)
+        print(result.render())
+        print(f"[{time.time() - started:.1f}s wall]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scenario: operating a node's agents as an SRE (§1, §4.1).
+
+Three agents run on one node under a single :class:`AgentManager`.
+One develops a hard actuator bug mid-run; the operator notices it in
+the uniform health report and terminates it with the implementation-
+agnostic CleanUp path while the other agents keep running.
+
+Run:  python examples/sre_operations.py
+"""
+
+from repro.agents.harvest import SmartHarvestAgent
+from repro.agents.overclock import SmartOverclockAgent
+from repro.core import AgentManager
+from repro.node.cpu import CpuModel
+from repro.node.hypervisor import Hypervisor
+from repro.sim import Kernel, RngStreams
+from repro.sim.units import SEC
+from repro.workloads.objectstore import ObjectStoreWorkload
+from repro.workloads.tailbench import MOSES, TailBenchWorkload
+
+
+def main():
+    kernel = Kernel()
+    streams = RngStreams(seed=21)
+    manager = AgentManager(kernel)
+
+    # Agent 1: SmartOverclock on a KV-store VM.
+    cpu = CpuModel(kernel, n_cores=8, nominal_freq_ghz=1.5,
+                   min_freq_ghz=1.5, max_freq_ghz=2.3)
+    ObjectStoreWorkload(kernel, cpu, streams.get("objectstore")).start()
+    overclock = SmartOverclockAgent(
+        kernel, cpu, streams.get("overclock")
+    ).start()
+    manager.register(overclock.runtime)
+
+    # Agent 2: SmartHarvest next to a latency-critical VM.
+    hypervisor = Hypervisor(kernel, n_cores=8, history_horizon_us=SEC)
+    TailBenchWorkload(
+        kernel, hypervisor, streams.get("moses"), MOSES
+    ).start()
+    harvest = SmartHarvestAgent(
+        kernel, hypervisor, streams.get("harvest")
+    ).start()
+    manager.register(harvest.runtime)
+
+    kernel.run(until=60 * SEC)
+    print("t=60s, all healthy:")
+    print(manager.render_report())
+
+    # The harvest agent develops a hard actuation bug.
+    def buggy_action(prediction):
+        raise RuntimeError("null deref in core-assignment path")
+
+    harvest.actuator.take_action = buggy_action
+    kernel.run(until=90 * SEC)
+
+    print("\nt=90s, after the harvest agent's actuator started crashing:")
+    print(manager.render_report())
+    health = manager.health("smart-harvest")
+    print(f"\nsmart-harvest actuator crashes: {health.actuator_crashes}")
+
+    # SRE action: terminate it without knowing anything about it.
+    manager.terminate("smart-harvest")
+    print("terminated smart-harvest via CleanUp; "
+          f"primary VM has all {hypervisor.allocated:.0f} cores back")
+
+    kernel.run(until=120 * SEC)
+    print("\nt=120s, the remaining agent is unaffected:")
+    print(manager.render_report())
+
+
+if __name__ == "__main__":
+    main()

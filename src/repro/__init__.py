@@ -1,0 +1,44 @@
+"""Reproduction of "SOL: Safe On-Node Learning in Cloud Platforms".
+
+(Wang, Crankshaw, Yadwadkar, Berger, Kozyrakis, Bianchini — ASPLOS 2022,
+arXiv:2201.10477.)
+
+Package map:
+
+* :mod:`repro.core` — the SOL framework itself (Model/Actuator API,
+  runtime, safeguards).
+* :mod:`repro.sim` — the deterministic discrete-event substrate.
+* :mod:`repro.node` — the simulated server node (CPU/DVFS, hypervisor,
+  two-tier memory, fault injection).
+* :mod:`repro.ml` — from-scratch online learners.
+* :mod:`repro.agents` — SmartOverclock, SmartHarvest, SmartMemory.
+* :mod:`repro.workloads` — the evaluation workloads.
+* :mod:`repro.platform` — the paper's agent characterization data.
+* :mod:`repro.experiments` — regenerates every table and figure.
+"""
+
+from repro.core import (
+    Actuator,
+    Model,
+    Prediction,
+    SafeguardPolicy,
+    Schedule,
+    SolRuntime,
+    run_agent,
+)
+from repro.sim import Kernel, RngStreams
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Actuator",
+    "Kernel",
+    "Model",
+    "Prediction",
+    "RngStreams",
+    "SafeguardPolicy",
+    "Schedule",
+    "SolRuntime",
+    "run_agent",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""The three ML-based agents of §5, implemented in SOL."""
+
+from repro.agents.harvest import SmartHarvestAgent
+from repro.agents.memory import SmartMemoryAgent
+from repro.agents.overclock import SmartOverclockAgent
+
+__all__ = [
+    "SmartHarvestAgent",
+    "SmartMemoryAgent",
+    "SmartOverclockAgent",
+]

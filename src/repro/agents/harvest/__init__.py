@@ -1,0 +1,14 @@
+"""SmartHarvest: safe CPU-core harvesting agent (§5.2)."""
+
+from repro.agents.harvest.actuator import HarvestActuator
+from repro.agents.harvest.agent import SmartHarvestAgent
+from repro.agents.harvest.config import HarvestConfig
+from repro.agents.harvest.model import HarvestModel, UsageWindow
+
+__all__ = [
+    "HarvestActuator",
+    "HarvestConfig",
+    "HarvestModel",
+    "SmartHarvestAgent",
+    "UsageWindow",
+]

@@ -1,0 +1,80 @@
+"""SmartHarvest configuration (§5.2, parameters from [37] where stated)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import Schedule
+from repro.sim.units import MS, SEC, US
+
+__all__ = ["HarvestConfig"]
+
+
+@dataclass(frozen=True)
+class HarvestConfig:
+    """Parameters of the SmartHarvest agent.
+
+    Paper values: 25 ms prediction epochs over 50 µs usage telemetry, a
+    cost-sensitive classifier predicting the primary VMs' maximum core
+    need, a 100 ms (4-epoch) maximum actuation wait, and a P99
+    wait-time actuator safeguard.
+
+    Attributes:
+        sample_period_us: usage telemetry granularity (50 µs).
+        epoch_us: prediction horizon / window length (25 ms).
+        buffer_cores: safety margin added on top of the predicted need.
+        under_cost / over_cost: cost-sensitive asymmetry (starving the
+            primary is far worse than harvesting less).
+        learning_rate: classifier SGD step.
+        starvation_window_epochs / starvation_threshold: model safeguard —
+            fraction of recent epochs where the primary ran out of idle
+            cores while harvesting.
+        recent_max_epochs: horizon of the conservative default
+            prediction (max cores recently seen).
+        wait_quantile / wait_threshold_cores / wait_window_us: actuator
+            safeguard — P99 of per-interval starved-core ratio.
+        telemetry_noise_cores: measurement noise on usage samples.
+    """
+
+    sample_period_us: int = 50 * US
+    epoch_us: int = 25 * MS
+    buffer_cores: int = 1
+    under_cost: float = 10.0
+    over_cost: float = 1.0
+    learning_rate: float = 0.08
+    starvation_window_epochs: int = 40
+    starvation_min_epochs: int = 20
+    starvation_threshold: float = 0.10
+    recent_max_epochs: int = 10
+    wait_quantile: float = 0.99
+    wait_threshold_cores: float = 0.5
+    wait_window_us: int = 10 * SEC
+    telemetry_noise_cores: float = 0.05
+    capped_fraction: float = 0.05
+    schedule: Schedule = field(
+        default_factory=lambda: Schedule(
+            data_collect_interval_us=25 * MS,   # one window per epoch
+            min_data_per_epoch=1,
+            max_data_per_epoch=2,
+            max_epoch_time_us=50 * MS,
+            assess_model_interval_epochs=10,
+            max_actuation_delay_us=100 * MS,    # "a maximum of 100 ms (4 epochs)"
+            assess_actuator_interval_us=100 * MS,
+            prediction_ttl_us=50 * MS,
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.sample_period_us <= 0 or self.epoch_us <= 0:
+            raise ValueError("periods must be positive")
+        if self.epoch_us % self.sample_period_us != 0:
+            raise ValueError("epoch must be a multiple of the sample period")
+        if self.buffer_cores < 0:
+            raise ValueError("buffer_cores must be non-negative")
+        if not 0.0 < self.starvation_threshold < 1.0:
+            raise ValueError("starvation_threshold must be in (0, 1)")
+
+    @property
+    def samples_per_epoch(self) -> int:
+        """Telemetry samples in one collection window (500 in the paper)."""
+        return self.epoch_us // self.sample_period_us

@@ -1,0 +1,96 @@
+"""SmartMemory configuration (§5.3 parameter values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.schedule import Schedule
+from repro.sim.units import MINUTE, MS, SEC
+
+__all__ = ["MemoryConfig"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Parameters of the SmartMemory agent.
+
+    Paper values: per-region Thompson sampling over scan periods 300 ms
+    to 9.6 s, 38.4-second epochs (4× the maximum period), hot batches =
+    minimal set covering 80% of accesses, >3-minutes-untouched = cold,
+    10% ground-truth sampling at maximum frequency with a 25% missed-
+    access threshold, a 20% remote-access SLO, and a 100-batch
+    migrate-back mitigation.
+
+    Attributes:
+        scan_periods_us: the bandit's arms (geometric ladder).
+        hot_coverage: fraction of estimated accesses the hot set covers.
+        default_local_fraction: under default predictions, the fraction
+            of batches kept in first-tier DRAM (0.95: only the coldest
+            5% become offload candidates).
+        cold_timeout_us: untouched-for-longer ⇒ cold, excluded from
+            scanning and analysis.
+        truth_fraction: batches ground-truth-sampled at max frequency.
+        missed_threshold: model assessment fails above this estimated
+            fraction of missed accesses.
+        saturation_undersampled: fraction of saturated scans in an epoch
+            above which the arm is judged too slow.
+        well_sampled_low: mean bit occupancy below which a non-slowest
+            arm is judged too fast (a slower arm would capture the same
+            accesses with fewer flushes).
+        slo_remote_fraction: actuator safeguard threshold (20% SLO).
+        mitigation_batch: hottest remote regions migrated back per
+            mitigation.
+    """
+
+    scan_periods_us: Tuple[int, ...] = (
+        300 * MS,
+        600 * MS,
+        1200 * MS,
+        2400 * MS,
+        4800 * MS,
+        9600 * MS,
+    )
+    hot_coverage: float = 0.80
+    default_local_fraction: float = 0.95
+    cold_timeout_us: int = 3 * MINUTE
+    truth_fraction: float = 0.10
+    missed_threshold: float = 0.25
+    saturation_undersampled: float = 0.5
+    well_sampled_low: float = 0.45
+    slo_remote_fraction: float = 0.20
+    mitigation_batch: int = 100
+    schedule: Schedule = field(
+        default_factory=lambda: Schedule(
+            data_collect_interval_us=300 * MS,   # minimum scan period
+            min_data_per_epoch=128,              # 128 × 300 ms = 38.4 s epoch
+            max_data_per_epoch=140,
+            max_epoch_time_us=42 * SEC,
+            assess_model_interval_epochs=1,
+            max_actuation_delay_us=39 * SEC,     # one epoch; None-action is a no-op
+            assess_actuator_interval_us=5 * SEC,
+            prediction_ttl_us=80 * SEC,          # ~two epochs
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.scan_periods_us) < 2:
+            raise ValueError("need at least two scan periods")
+        if any(
+            b <= a
+            for a, b in zip(self.scan_periods_us, self.scan_periods_us[1:])
+        ):
+            raise ValueError("scan periods must be strictly increasing")
+        if not 0.0 < self.hot_coverage <= 1.0:
+            raise ValueError("hot_coverage must be in (0, 1]")
+        if not 0.0 < self.truth_fraction < 1.0:
+            raise ValueError("truth_fraction must be in (0, 1)")
+
+    @property
+    def epoch_us(self) -> int:
+        """Learning-epoch length: 4× the maximum sampling period (§5.3)."""
+        return 4 * self.scan_periods_us[-1]
+
+    @property
+    def n_arms(self) -> int:
+        return len(self.scan_periods_us)

@@ -1,0 +1,13 @@
+"""SmartOverclock: RL-based CPU overclocking agent (§5.1)."""
+
+from repro.agents.overclock.actuator import OverclockActuator
+from repro.agents.overclock.agent import SmartOverclockAgent
+from repro.agents.overclock.config import OverclockConfig
+from repro.agents.overclock.model import OverclockModel
+
+__all__ = [
+    "OverclockActuator",
+    "OverclockConfig",
+    "OverclockModel",
+    "SmartOverclockAgent",
+]

@@ -1,0 +1,84 @@
+"""SmartOverclock's Actuator half: DVFS control plus the α safeguard (§5.1).
+
+Actions are trivially cheap (set the frequency domain); all the care is
+in the safe defaults and the end-to-end safeguard:
+
+* ``take_action(None)`` → nominal frequency ("If it has not received an
+  un-expired prediction at the end of this period, it takes the safe
+  default action of setting the CPUs to the nominal frequency to avoid
+  wasting power").
+* ``assess_performance`` monitors α = (unhalted − stalled) / total
+  cycles: "The Actuator monitors the 90th-percentile (P90) of α values
+  over the past 100 seconds and triggers the safeguard if this value is
+  below a threshold."  P90 smooths transient dips but exits quickly when
+  activity returns (Figure 5).
+* ``mitigate`` / ``clean_up`` restore all cores to nominal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.agents.overclock.config import OverclockConfig
+from repro.core.interfaces import Actuator
+from repro.core.prediction import Prediction
+from repro.node.counters import CounterReader
+from repro.node.cpu import CpuModel
+from repro.node.signals import SlidingWindowQuantile
+from repro.sim.kernel import Kernel
+
+__all__ = ["OverclockActuator"]
+
+
+class OverclockActuator(Actuator):
+    """Frequency actuation with the α-based power-waste watchdog.
+
+    Args:
+        kernel: simulation kernel.
+        cpu: the VM's frequency domain.
+        config: agent parameters.
+
+    The actuator keeps its *own* counter reader: the paper's watchdog is
+    independent of the model's internal state, so sharing a reader (and
+    therefore interval boundaries) with the Model would couple the two
+    halves the framework works to decouple.
+    """
+
+    def __init__(
+        self, kernel: Kernel, cpu: CpuModel, config: OverclockConfig
+    ) -> None:
+        self.kernel = kernel
+        self.cpu = cpu
+        self.config = config
+        self._reader = CounterReader(cpu)
+        self._alpha_window = SlidingWindowQuantile(
+            kernel, window_us=config.alpha_window_us
+        )
+        self.actions_taken = 0
+        self.safe_actions = 0
+
+    def take_action(self, prediction: Optional[Prediction[float]]) -> None:
+        self.actions_taken += 1
+        if prediction is None:
+            self.safe_actions += 1
+            self.cpu.set_frequency(self.config.nominal_freq_ghz)
+            return
+        self.cpu.set_frequency(float(prediction.value))
+
+    def assess_performance(self) -> bool:
+        """P90 of α over the trailing window must clear the threshold."""
+        metrics = self._reader.read()
+        if metrics is not None:
+            self._alpha_window.observe(metrics.alpha)
+        p90 = self._alpha_window.quantile(self.config.alpha_quantile)
+        if p90 is None:
+            return True  # no evidence yet
+        return p90 >= self.config.alpha_threshold
+
+    def mitigate(self) -> None:
+        """Stop wasting power: all cores back to nominal."""
+        self.cpu.set_frequency(self.config.nominal_freq_ghz)
+
+    def clean_up(self) -> None:
+        """SRE path: restore nominal frequency (idempotent, stateless)."""
+        self.cpu.set_frequency(self.config.nominal_freq_ghz)

@@ -1,0 +1,79 @@
+"""SmartOverclock configuration (§5.1, §6.2 parameter values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.schedule import Schedule
+from repro.sim.units import MS, SEC
+
+__all__ = ["OverclockConfig"]
+
+
+@dataclass(frozen=True)
+class OverclockConfig:
+    """Parameters of the SmartOverclock agent.
+
+    Paper values: nominal 1.5 GHz with overclock steps 1.9 and 2.3 GHz,
+    1-second learning epochs, 10% exploration, Δr averaged over the last
+    10 epochs, a 5-second maximum actuation wait, and an α safeguard on
+    the P90 over the past 100 seconds.
+
+    Attributes:
+        frequencies_ghz: the action set (index 0 must be nominal).
+        epsilon: exploration probability.
+        q_learning_rate / q_discount: Q-learning hyperparameters.
+        power_weight: reward penalty per normalized ``(f/f_nom)³`` of
+            power draw; balances IPS benefit against overclocking cost.
+        reward_window_epochs: horizon for the Δr model assessment.
+        delta_r_threshold: assessment fails when mean Δr of overclocked
+            epochs drops below this.
+        alpha_threshold: actuator safeguard fires when P90(α) over
+            ``alpha_window_us`` is below this.
+        ips_buckets: number of activity levels in the RL state.
+    """
+
+    frequencies_ghz: Tuple[float, ...] = (1.5, 1.9, 2.3)
+    epsilon: float = 0.1
+    q_learning_rate: float = 0.25
+    q_discount: float = 0.3
+    power_weight: float = 0.12
+    reward_window_epochs: int = 10
+    delta_r_threshold: float = -0.05
+    delta_r_min_observations: int = 5
+    delta_r_horizon_us: int = 60 * SEC
+    alpha_threshold: float = 0.1
+    alpha_window_us: int = 100 * SEC
+    alpha_quantile: float = 0.90
+    ips_buckets: int = 5
+    schedule: Schedule = field(
+        default_factory=lambda: Schedule(
+            data_collect_interval_us=100 * MS,   # "reads CPU counters every 100ms"
+            min_data_per_epoch=10,               # 1-second learning epoch
+            max_data_per_epoch=40,
+            max_epoch_time_us=1500 * MS,         # slack for discarded samples
+            assess_model_interval_epochs=1,
+            max_actuation_delay_us=5 * SEC,      # "wait for up to 5 seconds"
+            assess_actuator_interval_us=1 * SEC,
+            prediction_ttl_us=2500 * MS,
+        )
+    )
+
+    @property
+    def nominal_freq_ghz(self) -> float:
+        """The safe frequency every safeguard falls back to."""
+        return self.frequencies_ghz[0]
+
+    def __post_init__(self) -> None:
+        if len(self.frequencies_ghz) < 2:
+            raise ValueError("need nominal plus at least one overclock step")
+        if any(
+            b <= a
+            for a, b in zip(self.frequencies_ghz, self.frequencies_ghz[1:])
+        ):
+            raise ValueError("frequencies must be strictly increasing")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if self.reward_window_epochs < 1:
+            raise ValueError("reward_window_epochs must be >= 1")

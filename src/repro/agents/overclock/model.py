@@ -1,0 +1,243 @@
+"""SmartOverclock's Model half: Q-learning over CPU frequencies (§5.1).
+
+"At the end of every 1-second learning epoch, the agent uses the
+observed IPS and current core frequency to calculate the current RL
+state and reward.  It then updates the RL policy and uses it to pick the
+frequency for the next learning epoch."
+
+State:   the workload's activity level — IPS normalized by the maximum
+         achievable at the *current* frequency, bucketed.  High activity
+         that scales with frequency is what makes overclocking pay.
+Action:  the frequency for the next epoch.
+Reward:  normalized IPS minus a cubic power penalty, so overclocking is
+         only rewarded when the workload's IPS actually responds.
+
+Safeguards implemented here:
+
+* ``validate_data`` — counter range checks ("the IPS value should be
+  between 0 and max_freq · max_IPC"); out-of-range readings are
+  discarded before they can poison the policy (Figure 2).
+* ``assess_model`` — the Δr check: mean gap between the observed reward
+  when overclocked and the estimated reward at nominal over the last 10
+  epochs; below threshold → predictions intercepted (Figure 3).
+* ``default_predict`` — nominal frequency, with ε-exploration preserved
+  so the policy can keep learning its way out of a bad patch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.agents.overclock.config import OverclockConfig
+from repro.core.interfaces import Model
+from repro.core.prediction import Prediction
+from repro.ml.metrics import Ewma
+from repro.ml.qlearning import QLearner
+from repro.node.counters import CounterReader, IntervalMetrics
+from repro.node.faults import ModelBreaker
+from repro.sim.kernel import Kernel
+
+__all__ = ["OverclockModel"]
+
+
+class OverclockModel(Model):
+    """Q-learning frequency selection from hardware-counter telemetry.
+
+    Args:
+        kernel: simulation kernel (timestamps for predictions).
+        reader: interval counter reader (the fault-injection boundary).
+        config: agent parameters.
+        rng: random stream for exploration.
+        breaker: optional broken-model injector (Figure 3 harness).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        reader: CounterReader,
+        config: OverclockConfig,
+        rng: np.random.Generator,
+        breaker: Optional[ModelBreaker] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.reader = reader
+        self.config = config
+        self.rng = rng
+        self.breaker = breaker
+
+        self.learner = QLearner(
+            n_actions=len(config.frequencies_ghz),
+            rng=rng,
+            learning_rate=config.q_learning_rate,
+            discount=config.q_discount,
+            epsilon=config.epsilon,
+        )
+        # max achievable giga-IPS at nominal frequency, the reward scale
+        cpu = reader.cpu
+        self._ips_scale = cpu.n_cores * cpu.max_ipc * cpu.nominal_freq_ghz
+        self._max_valid_ips = cpu.n_cores * cpu.max_ipc * cpu.max_freq_ghz
+
+        self._epoch_buffer: List[IntervalMetrics] = []
+        self._previous_state: Optional[Tuple[int]] = None
+        self._current_state: Optional[Tuple[int]] = None
+        # per-state EWMA of the reward observed at the nominal frequency,
+        # used as the Δr baseline
+        self._nominal_reward: dict = {}
+        # (time_us, Δr) entries from policy-driven overclocked epochs
+        self._delta_r: Deque[Tuple[int, float]] = deque(
+            maxlen=config.reward_window_epochs
+        )
+        # what the model last asked for: (action, policy_driven)
+        self._last_choice: Optional[Tuple[int, bool]] = None
+
+    # -- Model interface ------------------------------------------------------
+
+    def collect_data(self) -> IntervalMetrics:
+        metrics = self.reader.read()
+        if metrics is None:
+            raise IOError("empty counter interval")
+        return metrics
+
+    def validate_data(self, data: IntervalMetrics) -> bool:
+        """Range checks on every counter reading (§5.1).
+
+        Tolerances absorb floating-point accumulation in real counter
+        pipelines (utilization of 1.0000000000001 is measurement noise,
+        not corruption).
+        """
+        tolerance = 1e-6
+        if not 0.0 <= data.ips <= self._max_valid_ips * 1.05:
+            return False
+        if not -tolerance <= data.alpha <= 1.0 + tolerance:
+            return False
+        if not -tolerance <= data.utilization <= 1.0 + tolerance:
+            return False
+        return data.duration_us > 0
+
+    def commit_data(self, time_us: int, data: IntervalMetrics) -> None:
+        self._epoch_buffer.append(data)
+
+    def update_model(self) -> None:
+        """One RL step from the epoch's aggregate telemetry."""
+        buffer, self._epoch_buffer = self._epoch_buffer, []
+        if not buffer:
+            return
+        mean_ips = float(np.mean([m.ips for m in buffer]))
+        freq = buffer[-1].freq_ghz
+        action = self._nearest_action(freq)
+        reward = self._reward(mean_ips, freq)
+        new_state = self._state(mean_ips, freq)
+        decision_state = (
+            self._current_state if self._current_state is not None
+            else new_state
+        )
+        if self._current_state is not None:
+            self.learner.update(
+                self._current_state, action, reward, next_state=new_state
+            )
+        self._previous_state = self._current_state
+        self._current_state = new_state
+        self._track_delta_r(decision_state, action, reward)
+
+    def model_predict(self) -> Optional[Prediction[float]]:
+        if self._current_state is None:
+            return None
+        action, explored = self.learner.select_action(self._current_state)
+        freq = self.config.frequencies_ghz[action]
+        if self.breaker is not None:
+            freq = self.breaker.apply(freq)
+        # Broken-model overrides still count as policy-driven: the Δr
+        # check exists precisely to judge what "the model" asked for.
+        self._last_choice = (self._nearest_action(freq), not explored)
+        return Prediction.fresh(
+            self.kernel, freq, ttl_us=self.config.schedule.prediction_ttl_us
+        )
+
+    def default_predict(self) -> Optional[Prediction[float]]:
+        """Nominal frequency, with exploration preserved (§5.1).
+
+        "the agent continues to randomly explore, but overrides the
+        RL-selected actions by always picking the nominal frequency as
+        the default prediction."
+        """
+        if self.rng.random() < self.config.epsilon:
+            freq = float(self.rng.choice(self.config.frequencies_ghz))
+        else:
+            freq = self.config.nominal_freq_ghz
+        self._last_choice = (self._nearest_action(freq), False)
+        return Prediction.fresh(
+            self.kernel,
+            freq,
+            ttl_us=self.config.schedule.prediction_ttl_us,
+            is_default=True,
+        )
+
+    def assess_model(self) -> bool:
+        """The Δr check: is policy-driven overclocking actually paying off?
+
+        Only epochs where the *policy* chose to overclock contribute —
+        exploration is supposed to lose a little sometimes, and judging
+        the policy by its forced exploration would trip the safeguard on
+        perfectly healthy idle phases.  Entries also expire after a
+        horizon so a long-intercepted model gets periodically re-probed
+        (and can recover, per §4.2).
+        """
+        horizon = self.config.delta_r_horizon_us
+        now = self.kernel.now
+        while self._delta_r and now - self._delta_r[0][0] > horizon:
+            self._delta_r.popleft()
+        if len(self._delta_r) < self.config.delta_r_min_observations:
+            return True
+        mean_gap = float(np.mean([gap for _t, gap in self._delta_r]))
+        return mean_gap >= self.config.delta_r_threshold
+
+    # -- internals ----------------------------------------------------------------
+
+    def _nearest_action(self, freq_ghz: float) -> int:
+        frequencies = np.asarray(self.config.frequencies_ghz)
+        return int(np.argmin(np.abs(frequencies - freq_ghz)))
+
+    def _reward(self, ips: float, freq_ghz: float) -> float:
+        """Normalized throughput minus the cubic power cost of the clock."""
+        ratio = freq_ghz / self.config.nominal_freq_ghz
+        return ips / self._ips_scale - self.config.power_weight * ratio**3
+
+    def _state(self, ips: float, freq_ghz: float) -> Tuple[int]:
+        """Bucketed activity level, frequency-normalized.
+
+        ``ips / (scale · f/f_nom)`` estimates how busy the workload is
+        independent of the current clock, so the state does not churn
+        when the agent changes frequency.
+        """
+        ratio = freq_ghz / self.config.nominal_freq_ghz
+        activity = ips / (self._ips_scale * ratio)
+        bucket = min(
+            self.config.ips_buckets - 1,
+            int(activity * self.config.ips_buckets),
+        )
+        return (bucket,)
+
+    def _track_delta_r(self, state, action: int, reward: float) -> None:
+        """Maintain the Δr statistic behind ``assess_model``.
+
+        Nominal-frequency epochs (whatever their origin) refresh the
+        per-state baseline; overclocked epochs contribute a Δr entry
+        only when the policy (not exploration, not a default) asked for
+        the overclock.
+        """
+        if action == 0:
+            baseline = self._nominal_reward.setdefault(state, Ewma(0.3))
+            baseline.observe(reward)
+            return
+        if self._last_choice is None:
+            return
+        chosen_action, policy_driven = self._last_choice
+        if not policy_driven or chosen_action != action:
+            return
+        baseline = self._nominal_reward.get(state)
+        if baseline is None or baseline.value is None:
+            return
+        self._delta_r.append((self.kernel.now, reward - baseline.value))

@@ -1,0 +1,102 @@
+"""Structured runtime event log.
+
+Every decision the SOL runtime takes — epochs, validation failures,
+interceptions, timeouts, safeguard transitions, mitigations, cleanups —
+is recorded as a :class:`RuntimeEvent`.  The experiment harness and the
+test suite assert on this log instead of poking runtime internals,
+mirroring how production SREs would consume an agent's telemetry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.sim.kernel import Kernel
+
+__all__ = ["EventKind", "RuntimeEvent", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Everything the runtime can report."""
+
+    EPOCH_START = "epoch_start"
+    DATA_COLLECTED = "data_collected"
+    VALIDATION_FAILED = "validation_failed"
+    MODEL_UPDATED = "model_updated"
+    MODEL_ASSESSED = "model_assessed"
+    PREDICTION_SENT = "prediction_sent"
+    PREDICTION_INTERCEPTED = "prediction_intercepted"
+    EPOCH_SHORT_CIRCUIT = "epoch_short_circuit"
+    SCHEDULING_DELAY = "scheduling_delay"
+    MODEL_CRASH = "model_crash"
+    ACTUATION = "actuation"
+    ACTUATION_TIMEOUT = "actuation_timeout"
+    PREDICTION_EXPIRED = "prediction_expired"
+    ACTUATOR_ASSESSED = "actuator_assessed"
+    SAFEGUARD_TRIGGERED = "safeguard_triggered"
+    SAFEGUARD_CLEARED = "safeguard_cleared"
+    MITIGATION = "mitigation"
+    ACTUATOR_CRASH = "actuator_crash"
+    CLEANUP = "cleanup"
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One timestamped runtime occurrence with free-form details."""
+
+    time_us: int
+    kind: EventKind
+    agent: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - human-facing format
+        extras = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.time_us:>12}us] {self.agent} {self.kind.value} {extras}"
+
+
+class EventLog:
+    """Append-only log with query helpers used by tests and experiments."""
+
+    def __init__(self, kernel: Kernel, agent: str) -> None:
+        self.kernel = kernel
+        self.agent = agent
+        self._events: List[RuntimeEvent] = []
+
+    def record(self, kind: EventKind, **details: Any) -> RuntimeEvent:
+        """Append an event stamped with the current simulation time."""
+        event = RuntimeEvent(
+            time_us=self.kernel.now, kind=kind, agent=self.agent,
+            details=details,
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RuntimeEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: EventKind) -> List[RuntimeEvent]:
+        """All events of one kind, in time order."""
+        return [event for event in self._events if event.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of events of one kind."""
+        return sum(1 for event in self._events if event.kind is kind)
+
+    def last(self, kind: EventKind) -> Optional[RuntimeEvent]:
+        """Most recent event of one kind, or ``None``."""
+        for event in reversed(self._events):
+            if event.kind is kind:
+                return event
+        return None
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by kind (stable keys for experiment reports)."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        return counts

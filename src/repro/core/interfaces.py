@@ -1,0 +1,140 @@
+"""The SOL agent API: the ``Model`` and ``Actuator`` interfaces.
+
+These are Python renderings of the paper's Listings 1 and 2.  An agent
+developer implements both; the :class:`~repro.core.runtime.SolRuntime`
+owns scheduling, epoch structure, safeguard evaluation, and the
+prediction queue — the developer never writes a control loop.
+
+Design notes carried over from §4.1:
+
+* The **Model** provides fresh, accurate predictions *on a best-effort
+  basis*.  It is the expensive half (telemetry collection, training,
+  inference) and may be throttled arbitrarily.
+* The **Actuator** takes control actions at bounded intervals whether or
+  not predictions arrive.  It must be written so that a ``None``
+  prediction always maps to a conservative, safe action.
+* The split is enforced structurally: the two halves communicate only
+  through the prediction queue, so a starved Model can never block a
+  safe actuation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, Optional, TypeVar
+
+from repro.core.prediction import Prediction
+
+__all__ = ["Model", "Actuator"]
+
+D = TypeVar("D")  # type of a collected datapoint
+P = TypeVar("P")  # type of a prediction value
+
+
+class Model(abc.ABC, Generic[D, P]):
+    """Agent-specific learning logic (paper Listing 1).
+
+    A *learning epoch* is: several ``collect_data`` calls (each validated
+    and, if valid, committed), then at most one ``update_model`` and one
+    ``model_predict``.  The runtime drives this cycle; implementations
+    hold the model state.
+    """
+
+    @abc.abstractmethod
+    def collect_data(self) -> D:
+        """Read one datapoint of node telemetry.
+
+        Called every ``Schedule.data_collect_interval``.  May raise on
+        hard telemetry failure; the runtime treats an exception as a
+        failed epoch (and the Actuator keeps running safely).
+        """
+
+    @abc.abstractmethod
+    def validate_data(self, data: D) -> bool:
+        """Check one datapoint against explicit data assumptions.
+
+        Range checks and cheap distributional checks belong here
+        ("data assumptions should be specified and explicitly checked",
+        §3.2).  Invalid datapoints are *discarded* — never committed.
+        """
+
+    @abc.abstractmethod
+    def commit_data(self, time_us: int, data: D) -> None:
+        """Accept a validated datapoint (timestamped) into model state."""
+
+    @abc.abstractmethod
+    def update_model(self) -> None:
+        """Run one training step over the committed data."""
+
+    @abc.abstractmethod
+    def model_predict(self) -> Optional[Prediction[P]]:
+        """Produce a prediction from the learned model.
+
+        Returning ``None`` short-circuits the epoch (e.g. confidence
+        below threshold); the runtime substitutes ``default_predict``.
+        """
+
+    @abc.abstractmethod
+    def default_predict(self) -> Optional[Prediction[P]]:
+        """A safe fallback heuristic prediction (may be ``None``).
+
+        "Default predictions should allow the node to behave in a way
+        that has minimal impact on the agent-specific safety metric, at
+        the possible cost of running at lower efficiency" (§4.1).
+        """
+
+    @abc.abstractmethod
+    def assess_model(self) -> bool:
+        """Whether model accuracy is currently acceptable.
+
+        Evaluated every ``Schedule.assess_model_interval`` epochs.  While
+        failing, the runtime intercepts model predictions and forwards
+        defaults instead — the model keeps learning, so it can recover.
+        """
+
+
+class Actuator(abc.ABC, Generic[P]):
+    """Agent-specific control logic (paper Listing 2).
+
+    Deliberately shaped like a *non*-learning agent: one control function
+    plus a watchdog.  The only ML-related difference is that
+    ``take_action`` may receive a prediction.
+    """
+
+    @abc.abstractmethod
+    def take_action(self, prediction: Optional[Prediction[P]]) -> None:
+        """Take one control action.
+
+        ``prediction`` is ``None`` when no fresh, validated prediction is
+        available (queue timeout, expiry, failing model).  The action for
+        ``None`` must be conservative: preserve customer QoS and node
+        health over efficiency.
+        """
+
+    @abc.abstractmethod
+    def assess_performance(self) -> bool:
+        """End-to-end behavioral check, independent of model internals.
+
+        This is the agent's last line of defense; it should measure a
+        proxy for the agent's safety metric (e.g. vCPU wait time, remote
+        access fraction) and return ``False`` when impact is
+        unacceptable.
+        """
+
+    @abc.abstractmethod
+    def mitigate(self) -> None:
+        """Undo the agent's impact; called while assessment is failing.
+
+        Must be idempotent: the runtime may call it on every failing
+        assessment until health returns.
+        """
+
+    @abc.abstractmethod
+    def clean_up(self) -> None:
+        """Stop the agent's effects and restore a clean node state.
+
+        Must be **idempotent and stateless**: callable at any time, by
+        operators who know nothing of the implementation, whether the
+        agent is running, crashed, or hanging (§4.1).  The runtime calls
+        it from :meth:`repro.core.runtime.SolRuntime.terminate`.
+        """

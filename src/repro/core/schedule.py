@@ -1,0 +1,69 @@
+"""Agent schedules — the paper's ``Schedule`` class (Listing 3).
+
+"Data collection frequency, maximum duration, and the minimum and maximum
+number of data points that can be collected in a learning epoch are all
+configurable by the developer" (§4.1), plus the actuator's maximum wait
+and both assessment cadences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import MS, SEC
+
+__all__ = ["Schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Timing parameters for one agent's Model and Actuator loops.
+
+    Attributes:
+        data_collect_interval_us: period between ``collect_data`` calls.
+        min_data_per_epoch: validated datapoints required before the
+            epoch may update the model and predict.
+        max_data_per_epoch: hard cap on collections per epoch.
+        max_epoch_time_us: epoch deadline; reaching it short-circuits the
+            epoch with a default prediction.
+        assess_model_interval_epochs: run ``assess_model`` every K epochs.
+        max_actuation_delay_us: longest the Actuator waits on the
+            prediction queue before acting without one (the non-blocking
+            bound; e.g. 5 s for SmartOverclock, 100 ms for SmartHarvest).
+        assess_actuator_interval_us: period of the end-to-end
+            ``assess_performance`` watchdog.
+        prediction_ttl_us: default lifetime agents give predictions.
+    """
+
+    data_collect_interval_us: int = 100 * MS
+    min_data_per_epoch: int = 1
+    max_data_per_epoch: int = 100
+    max_epoch_time_us: int = 1 * SEC
+    assess_model_interval_epochs: int = 1
+    max_actuation_delay_us: int = 5 * SEC
+    assess_actuator_interval_us: int = 1 * SEC
+    prediction_ttl_us: int = 2 * SEC
+
+    def __post_init__(self) -> None:
+        positive = [
+            ("data_collect_interval_us", self.data_collect_interval_us),
+            ("max_epoch_time_us", self.max_epoch_time_us),
+            ("assess_model_interval_epochs", self.assess_model_interval_epochs),
+            ("max_actuation_delay_us", self.max_actuation_delay_us),
+            ("assess_actuator_interval_us", self.assess_actuator_interval_us),
+            ("prediction_ttl_us", self.prediction_ttl_us),
+            ("min_data_per_epoch", self.min_data_per_epoch),
+            ("max_data_per_epoch", self.max_data_per_epoch),
+        ]
+        for name, value in positive:
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.min_data_per_epoch > self.max_data_per_epoch:
+            raise ValueError(
+                "min_data_per_epoch cannot exceed max_data_per_epoch"
+            )
+        if self.data_collect_interval_us > self.max_epoch_time_us:
+            raise ValueError(
+                "data_collect_interval longer than max_epoch_time: the "
+                "epoch could never collect a datapoint"
+            )

@@ -1,0 +1,66 @@
+"""Experiment harness: one function per paper table/figure.
+
+The mapping from paper artifact to function (see also DESIGN.md §4):
+
+========  =====================================================
+Artifact  Function
+========  =====================================================
+Table 1   :func:`repro.experiments.tables.table1_taxonomy`
+Table 2   :func:`repro.experiments.tables.table2_learning_agents`
+Fig. 1    :func:`repro.experiments.overclock.fig1_overclock_vs_static`
+Fig. 2    :func:`repro.experiments.overclock.fig2_invalid_data`
+Fig. 3    :func:`repro.experiments.overclock.fig3_broken_model`
+Fig. 4    :func:`repro.experiments.overclock.fig4_delayed_predictions`
+Fig. 5    :func:`repro.experiments.overclock.fig5_actuator_safeguard`
+Fig. 6    :func:`repro.experiments.harvest.fig6_invalid_data` /
+          :func:`repro.experiments.harvest.fig6_broken_model` /
+          :func:`repro.experiments.harvest.fig6_delayed_predictions`
+Fig. 7    :func:`repro.experiments.memory.fig7_smartmemory_vs_static`
+Fig. 8    :func:`repro.experiments.memory.fig8_memory_safeguards`
+========  =====================================================
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    HarvestScenario,
+    MemoryScenario,
+    OverclockScenario,
+    SloWatcher,
+)
+from repro.experiments.harvest import (
+    fig6_broken_model,
+    fig6_delayed_predictions,
+    fig6_invalid_data,
+)
+from repro.experiments.memory import (
+    fig7_smartmemory_vs_static,
+    fig8_memory_safeguards,
+)
+from repro.experiments.overclock import (
+    fig1_overclock_vs_static,
+    fig2_invalid_data,
+    fig3_broken_model,
+    fig4_delayed_predictions,
+    fig5_actuator_safeguard,
+)
+from repro.experiments.tables import table1_taxonomy, table2_learning_agents
+
+__all__ = [
+    "ExperimentResult",
+    "HarvestScenario",
+    "MemoryScenario",
+    "OverclockScenario",
+    "SloWatcher",
+    "fig1_overclock_vs_static",
+    "fig2_invalid_data",
+    "fig3_broken_model",
+    "fig4_delayed_predictions",
+    "fig5_actuator_safeguard",
+    "fig6_broken_model",
+    "fig6_delayed_predictions",
+    "fig6_invalid_data",
+    "fig7_smartmemory_vs_static",
+    "fig8_memory_safeguards",
+    "table1_taxonomy",
+    "table2_learning_agents",
+]

@@ -1,0 +1,282 @@
+"""SmartOverclock experiments: Figures 1-5 of the paper.
+
+Each function regenerates one figure's data as an
+:class:`~repro.experiments.common.ExperimentResult`.  Durations default
+to values that reach learned steady state; benchmarks may scale them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.safeguards import SafeguardPolicy
+from repro.experiments.common import ExperimentResult, OverclockScenario
+from repro.node.faults import DelayInjector, ModelBreaker, bad_ips_injector
+from repro.sim import Kernel, RngStreams
+from repro.sim.units import SEC
+from repro.workloads.diskspeed import DiskSpeedWorkload
+from repro.workloads.objectstore import ObjectStoreWorkload
+from repro.workloads.synthetic import SyntheticBatchWorkload
+
+__all__ = [
+    "CPU_WORKLOADS",
+    "fig1_overclock_vs_static",
+    "fig2_invalid_data",
+    "fig3_broken_model",
+    "fig4_delayed_predictions",
+    "fig5_actuator_safeguard",
+]
+
+
+def _synthetic(kernel, cpu, streams):
+    return SyntheticBatchWorkload(kernel, cpu, period_us=100 * SEC)
+
+
+def _objectstore(kernel, cpu, streams):
+    return ObjectStoreWorkload(kernel, cpu, streams.get("workload"))
+
+
+def _diskspeed(kernel, cpu, streams):
+    return DiskSpeedWorkload(kernel, cpu, streams.get("workload"))
+
+
+#: The three §6.2 workloads, by paper name.
+CPU_WORKLOADS: Dict[str, Callable] = {
+    "Synthetic": _synthetic,
+    "ObjectStore": _objectstore,
+    "DiskSpeed": _diskspeed,
+}
+
+
+def fig1_overclock_vs_static(
+    seconds: int = 900, seed: int = 0
+) -> ExperimentResult:
+    """Figure 1: SmartOverclock vs static frequencies, perf and power.
+
+    Normalized performance and power relative to static 1.5 GHz, for
+    each workload × {1.5, 1.9, 2.3 GHz, SmartOverclock}.
+    """
+    result = ExperimentResult(
+        name="fig1",
+        title="SmartOverclock vs static frequency (normalized to 1.5GHz)",
+        columns=["workload", "policy", "norm_perf", "norm_power"],
+    )
+    for workload_name, factory in CPU_WORKLOADS.items():
+        baseline = OverclockScenario.build(
+            factory, seed=seed, agent=False, static_freq_ghz=1.5
+        ).run(seconds)
+        base_perf = baseline.workload.performance()
+        base_watts = baseline.mean_watts()
+        cells = [("static-1.5GHz", baseline)]
+        for freq in (1.9, 2.3):
+            cells.append(
+                (
+                    f"static-{freq}GHz",
+                    OverclockScenario.build(
+                        factory, seed=seed, agent=False,
+                        static_freq_ghz=freq,
+                    ).run(seconds),
+                )
+            )
+        cells.append(
+            (
+                "SmartOverclock",
+                OverclockScenario.build(factory, seed=seed).run(seconds),
+            )
+        )
+        for policy, scenario in cells:
+            perf = scenario.workload.performance()
+            result.add_row(
+                workload=workload_name,
+                policy=policy,
+                norm_perf=perf.normalized_against(base_perf),
+                norm_power=scenario.mean_watts() / base_watts,
+            )
+    return result
+
+
+def fig2_invalid_data(
+    seconds: int = 600,
+    seed: int = 0,
+    bad_fractions=(0.0, 0.05, 0.10, 0.20),
+) -> ExperimentResult:
+    """Figure 2: the data-validation safeguard under invalid IPS readings.
+
+    Synthetic workload; a fraction of IPS counter readings is replaced
+    with out-of-range values.  Performance/power normalized to the
+    clean (0% bad data) guarded agent.
+    """
+    result = ExperimentResult(
+        name="fig2",
+        title="Invalid IPS readings vs data-validation safeguard"
+              " (Synthetic; normalized to 0% bad data)",
+        columns=["bad_fraction", "validation", "norm_perf", "norm_power"],
+    )
+    reference = None
+    for fraction in bad_fractions:
+        for validation in (True, False):
+            policy = SafeguardPolicy(validate_data=validation)
+            scenario = OverclockScenario.build(
+                _synthetic, seed=seed, policy=policy
+            )
+            if fraction > 0:
+                scenario.agent.reader.add_injector(
+                    bad_ips_injector(
+                        scenario.streams.get("fault"), fraction
+                    )
+                )
+            scenario.run(seconds)
+            perf = scenario.workload.performance()
+            watts = scenario.mean_watts()
+            if reference is None:
+                reference = (perf, watts)
+            result.add_row(
+                bad_fraction=fraction,
+                validation="on" if validation else "off",
+                norm_perf=perf.normalized_against(reference[0]),
+                norm_power=watts / reference[1],
+            )
+    return result
+
+
+def fig3_broken_model(
+    seconds: int = 600, seed: int = 0, break_at: int = 120
+) -> ExperimentResult:
+    """Figure 3: model safeguard vs a broken always-overclock model.
+
+    The model is broken at ``break_at`` seconds to always select the
+    highest frequency; power is reported as the increase over each
+    workload's healthy-agent run.
+    """
+    result = ExperimentResult(
+        name="fig3",
+        title="Broken (always-overclock) model: power increase vs healthy",
+        columns=["workload", "model_safeguard", "power_increase_pct"],
+    )
+    for workload_name, factory in CPU_WORKLOADS.items():
+        healthy = OverclockScenario.build(factory, seed=seed).run(seconds)
+        healthy_watts = healthy.mean_watts()
+        for guarded in (True, False):
+            policy = SafeguardPolicy(assess_model=guarded)
+            breaker = ModelBreaker(broken_value=2.3)
+            scenario = OverclockScenario.build(
+                factory, seed=seed, policy=policy, breaker=breaker
+            )
+            scenario.kernel.call_later(break_at * SEC, breaker.arm)
+            scenario.run(seconds)
+            result.add_row(
+                workload=workload_name,
+                model_safeguard="on" if guarded else "off",
+                power_increase_pct=100.0
+                * (scenario.mean_watts() / healthy_watts - 1.0),
+            )
+    return result
+
+
+def fig4_delayed_predictions(
+    seconds: int = 400, seed: int = 0, delay_seconds: int = 30
+) -> ExperimentResult:
+    """Figure 4: non-blocking vs blocking Actuator under a model stall.
+
+    A ``delay_seconds`` stall is injected into the Model loop exactly
+    when the Synthetic workload finishes a batch — the worst case: the
+    last prediction said "overclock" and the workload just went idle.
+    Power is measured over the stall window and compared to an idle
+    node at the nominal frequency, matching the paper's framing ("the
+    blocking agent overclocks the workload for 30 seconds into its idle
+    phase, increasing power consumption by 36%").
+    """
+    result = ExperimentResult(
+        name="fig4",
+        title=f"{delay_seconds}s model stall at batch end: "
+              "power increase over the stall window",
+        columns=["actuator", "power_increase_pct", "timeout_actions"],
+    )
+    for blocking in (False, True):
+        policy = SafeguardPolicy(non_blocking_actuator=not blocking)
+        delays = DelayInjector()
+        scenario = OverclockScenario.build(
+            _synthetic, seed=seed, policy=policy, model_delays=delays
+        )
+        window: dict = {}
+
+        def on_batch_end(index, scenario=scenario, delays=delays,
+                         window=window):
+            if index != 1:
+                return
+            delays.trigger_now(delay_seconds * SEC)
+            window["start_us"] = scenario.kernel.now
+            window["energy_start"] = scenario.cpu.snapshot().energy_joules
+            scenario.kernel.call_later(
+                delay_seconds * SEC,
+                lambda: window.__setitem__(
+                    "energy_end", scenario.cpu.snapshot().energy_joules
+                ),
+            )
+
+        scenario.workload.on_batch_end.append(on_batch_end)
+        scenario.run(seconds)
+        stall_watts = (
+            window["energy_end"] - window["energy_start"]
+        ) / delay_seconds
+        # reference: the same idle window at nominal frequency
+        idle_nominal_watts = scenario.cpu.power_model.watts(
+            scenario.cpu.n_cores, scenario.cpu.nominal_freq_ghz, 0.0
+        )
+        result.add_row(
+            actuator="blocking" if blocking else "non-blocking",
+            power_increase_pct=100.0
+            * (stall_watts / idle_nominal_watts - 1.0),
+            timeout_actions=scenario.agent.runtime.stats()[
+                "actuation_timeouts"
+            ],
+        )
+    return result
+
+
+def fig5_actuator_safeguard(
+    seconds: int = 900, seed: int = 0
+) -> ExperimentResult:
+    """Figure 5: the α safeguard across a long idle phase (time series).
+
+    A Synthetic workload processes one long batch then idles for
+    minutes.  The series shows frequency and safeguard state per 30 s
+    window: overclocked while busy, safeguard-disabled during idle,
+    re-enabled on the next batch.
+    """
+    result = ExperimentResult(
+        name="fig5",
+        title="Actuator (α) safeguard over idle phases: 30s windows",
+        columns=["window_start_s", "mean_freq_ghz", "safeguard_active",
+                 "mean_watts"],
+    )
+    kernel = Kernel()
+    streams = RngStreams(seed)
+    from repro.experiments.common import build_cpu_node
+
+    cpu = build_cpu_node(kernel)
+    workload = SyntheticBatchWorkload(
+        kernel, cpu, period_us=420 * SEC,
+        batch_giga_instructions=48.0 * 120,
+    ).start()
+    from repro.agents.overclock import SmartOverclockAgent
+
+    agent = SmartOverclockAgent(kernel, cpu, streams.get("agent")).start()
+    window = 30
+    previous = cpu.snapshot()
+    freq_accum = []
+
+    for start in range(0, seconds, window):
+        kernel.run(until=(start + window) * SEC)
+        snap = cpu.snapshot()
+        watts = (snap.energy_joules - previous.energy_joules) / window
+        previous = snap
+        result.add_row(
+            window_start_s=start,
+            mean_freq_ghz=cpu.frequency_ghz,
+            safeguard_active=agent.runtime.actuator_safeguard.active,
+            mean_watts=watts,
+        )
+    triggers = agent.runtime.stats()["actuator_safeguard_triggers"]
+    result.notes.append(f"safeguard triggers: {triggers}")
+    return result

@@ -1,0 +1,55 @@
+"""Tables 1 and 2 reproductions (characterization data)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.platform.taxonomy import (
+    TABLE1_TAXONOMY,
+    TABLE2_LEARNING_AGENTS,
+    learning_beneficiary_fraction,
+)
+
+__all__ = ["table1_taxonomy", "table2_learning_agents"]
+
+
+def table1_taxonomy() -> ExperimentResult:
+    """Table 1: taxonomy of production node agents."""
+    result = ExperimentResult(
+        name="table1",
+        title="Taxonomy of production agents",
+        columns=["class", "count", "description", "examples", "benefit"],
+    )
+    for cls in TABLE1_TAXONOMY:
+        result.add_row(
+            **{
+                "class": cls.name,
+                "count": cls.count,
+                "description": cls.description,
+                "examples": cls.examples,
+                "benefit": "Yes" if cls.benefits_from_learning else "No",
+            }
+        )
+    result.notes.append(
+        f"agents that could benefit from learning: "
+        f"{learning_beneficiary_fraction():.0%} (paper: 35%)"
+    )
+    return result
+
+
+def table2_learning_agents() -> ExperimentResult:
+    """Table 2: examples of on-node learning resource control agents."""
+    result = ExperimentResult(
+        name="table2",
+        title="On-node learning resource control agents",
+        columns=["agent", "goal", "action", "frequency", "inputs", "model"],
+    )
+    for agent in TABLE2_LEARNING_AGENTS:
+        result.add_row(
+            agent=agent.name,
+            goal=agent.goal,
+            action=agent.action,
+            frequency=agent.frequency,
+            inputs=agent.inputs,
+            model=agent.model,
+        )
+    return result

@@ -1,0 +1,80 @@
+"""Thompson sampling with Beta priors — SmartMemory's model (§5.3).
+
+The paper: "It uses Thompson Sampling with a Beta distribution prior, a
+well-known multi-armed bandit algorithm...  The agent learns the best
+scanning frequency for each 2 MB region of memory."
+
+One :class:`BetaThompsonSampler` is instantiated per memory region; its
+arms are the scan periods (300 ms … 9.6 s).  A reward of 1 means the
+chosen period *well-sampled* the region (neither saturated nor empty).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["BetaThompsonSampler"]
+
+
+class BetaThompsonSampler:
+    """Beta-Bernoulli Thompson sampling over a fixed arm set.
+
+    Args:
+        n_arms: number of arms.
+        rng: random stream for posterior sampling.
+        prior_alpha / prior_beta: Beta prior pseudo-counts (1, 1 = uniform).
+    """
+
+    def __init__(
+        self,
+        n_arms: int,
+        rng: np.random.Generator,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+    ) -> None:
+        if n_arms < 2:
+            raise ValueError("need at least two arms")
+        if prior_alpha <= 0 or prior_beta <= 0:
+            raise ValueError("priors must be positive")
+        self.n_arms = n_arms
+        self.rng = rng
+        self.alpha = np.full(n_arms, float(prior_alpha))
+        self.beta = np.full(n_arms, float(prior_beta))
+        self.pulls = np.zeros(n_arms, dtype=np.int64)
+
+    def select_arm(self) -> int:
+        """Draw one posterior sample per arm; play the argmax."""
+        samples = self.rng.beta(self.alpha, self.beta)
+        return int(np.argmax(samples))
+
+    def update(self, arm: int, success: bool) -> None:
+        """Record a Bernoulli outcome for ``arm``."""
+        self._check_arm(arm)
+        if success:
+            self.alpha[arm] += 1.0
+        else:
+            self.beta[arm] += 1.0
+        self.pulls[arm] += 1
+
+    def update_weighted(self, arm: int, reward: float) -> None:
+        """Record a fractional reward in [0, 1] as partial pseudo-counts.
+
+        Used when an epoch yields a graded observation (e.g. mostly
+        well-sampled scans with a few saturated ones).
+        """
+        self._check_arm(arm)
+        if not 0.0 <= reward <= 1.0:
+            raise ValueError(f"reward must be in [0, 1], got {reward}")
+        self.alpha[arm] += reward
+        self.beta[arm] += 1.0 - reward
+        self.pulls[arm] += 1
+
+    def mean_estimates(self) -> np.ndarray:
+        """Posterior means per arm (diagnostics; not used for selection)."""
+        return self.alpha / (self.alpha + self.beta)
+
+    def _check_arm(self, arm: int) -> None:
+        if not 0 <= arm < self.n_arms:
+            raise ValueError(f"arm {arm} out of range [0, {self.n_arms})")

@@ -1,0 +1,97 @@
+"""Cost-sensitive one-against-all classification (VW ``csoaa`` reduction).
+
+SmartHarvest "uses a cost-sensitive classifier from the VowpalWabbit
+framework to predict the maximum number of CPU cores needed by the
+primary VMs in the next 25 ms" (§5.2).  Cost-sensitivity matters because
+the two error directions are asymmetric: under-predicting cores starves
+the customer VM (expensive), over-predicting merely harvests less
+(cheap).
+
+This implementation mirrors VW's reduction: one online linear regressor
+per class predicts that class's cost; inference picks the argmin.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml.linear import OnlineLinearRegression
+
+__all__ = ["CostSensitiveClassifier", "asymmetric_core_costs"]
+
+
+def asymmetric_core_costs(
+    true_class: int,
+    n_classes: int,
+    under_cost: float = 4.0,
+    over_cost: float = 1.0,
+) -> np.ndarray:
+    """Cost vector for predicting each class when ``true_class`` is correct.
+
+    Predicting ``k < true`` (undersupply) costs ``under_cost`` per missing
+    core; ``k > true`` (oversupply) costs ``over_cost`` per extra core.
+    This is the asymmetry that makes SmartHarvest conservative.
+    """
+    if not 0 <= true_class < n_classes:
+        raise ValueError(f"true_class {true_class} out of [0, {n_classes})")
+    classes = np.arange(n_classes)
+    costs = np.where(
+        classes < true_class,
+        under_cost * (true_class - classes),
+        over_cost * (classes - true_class),
+    )
+    return costs.astype(float)
+
+
+class CostSensitiveClassifier:
+    """Multiclass cost-sensitive learner: per-class cost regressors.
+
+    Args:
+        n_classes: number of classes (for SmartHarvest, cores 0..N).
+        n_features: feature dimensionality.
+        learning_rate / l2: passed to each per-class regressor.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        n_features: int,
+        learning_rate: float = 0.05,
+        l2: float = 0.0,
+    ) -> None:
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        self.n_classes = n_classes
+        self.n_features = n_features
+        self._regressors = [
+            OnlineLinearRegression(
+                n_features, learning_rate=learning_rate, l2=l2
+            )
+            for _ in range(n_classes)
+        ]
+        self.updates = 0
+
+    def predicted_costs(self, features: Sequence[float]) -> np.ndarray:
+        """Predicted cost of choosing each class."""
+        return np.array(
+            [regressor.predict(features) for regressor in self._regressors]
+        )
+
+    def predict(self, features: Sequence[float]) -> int:
+        """The class with minimum predicted cost (ties → lowest class)."""
+        return int(np.argmin(self.predicted_costs(features)))
+
+    def update(
+        self, features: Sequence[float], costs: Sequence[float]
+    ) -> None:
+        """Train all per-class regressors on an observed cost vector."""
+        costs = np.asarray(costs, dtype=float)
+        if costs.shape != (self.n_classes,):
+            raise ValueError(
+                f"expected {self.n_classes} costs, got shape {costs.shape}"
+            )
+        for regressor, cost in zip(self._regressors, costs):
+            regressor.update(features, float(cost))
+        self.updates += 1

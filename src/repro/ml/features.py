@@ -1,0 +1,66 @@
+"""Distributional feature extraction from telemetry sample windows.
+
+SmartHarvest "collects VM CPU usage data from the hypervisor every 50 µs
+and computes distributional features over this data as input to the
+model" (§5.2).  This module computes that feature vector from a window of
+usage samples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["FEATURE_NAMES", "distributional_features"]
+
+#: Order of the features returned by :func:`distributional_features`.
+FEATURE_NAMES: List[str] = [
+    "mean",
+    "std",
+    "minimum",
+    "p50",
+    "p90",
+    "p99",
+    "maximum",
+    "last",
+    "trend",
+]
+
+
+def distributional_features(samples: np.ndarray) -> np.ndarray:
+    """Summarize a telemetry window into a fixed-length feature vector.
+
+    Features (in :data:`FEATURE_NAMES` order): mean, standard deviation,
+    min, median, P90, P99, max, most-recent sample, and a linear trend
+    (second-half mean minus first-half mean, capturing a demand ramp).
+
+    Args:
+        samples: 1-D array of usage samples, oldest first.
+
+    Raises:
+        ValueError: on an empty window — the caller must guard, because
+            an empty window means data collection failed and validation
+            should have caught it.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ValueError("need a non-empty 1-D sample window")
+    half = samples.size // 2
+    if half > 0:
+        trend = float(samples[half:].mean() - samples[:half].mean())
+    else:
+        trend = 0.0
+    return np.array(
+        [
+            float(samples.mean()),
+            float(samples.std()),
+            float(samples.min()),
+            float(np.percentile(samples, 50)),
+            float(np.percentile(samples, 90)),
+            float(np.percentile(samples, 99)),
+            float(samples.max()),
+            float(samples[-1]),
+            trend,
+        ]
+    )

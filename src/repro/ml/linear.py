@@ -1,0 +1,79 @@
+"""Online linear regression — the base learner of the ML substrate.
+
+The paper's SmartHarvest uses VowpalWabbit's cost-sensitive classifier,
+which reduces multiclass cost-sensitive learning to one online linear
+regressor per class (the ``csoaa`` reduction).  This module provides that
+regressor: plain SGD with optional L2 regularization and gradient
+clipping, suitable for the low-dimensional distributional features the
+agents feed it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["OnlineLinearRegression"]
+
+
+class OnlineLinearRegression:
+    """Least-squares linear model trained one example at a time.
+
+    Args:
+        n_features: input dimensionality (a bias term is handled
+            internally; do not include one in the features).
+        learning_rate: SGD step size.
+        l2: L2 regularization strength applied at each step.
+        clip_gradient: per-step cap on the error magnitude, which keeps a
+            single wild datapoint (exactly the §3.2 bad-data failure) from
+            destroying the weights.  ``None`` disables clipping.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        learning_rate: float = 0.05,
+        l2: float = 0.0,
+        clip_gradient: Optional[float] = 100.0,
+    ) -> None:
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.n_features = n_features
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.clip_gradient = clip_gradient
+        self.weights = np.zeros(n_features)
+        self.bias = 0.0
+        self.updates = 0
+
+    def predict(self, features: Sequence[float]) -> float:
+        """Model output for one feature vector."""
+        x = self._check(features)
+        return float(self.weights @ x + self.bias)
+
+    def update(self, features: Sequence[float], target: float) -> float:
+        """One SGD step toward ``target``; returns the pre-update error."""
+        x = self._check(features)
+        error = self.predict(x) - float(target)
+        step_error = error
+        if self.clip_gradient is not None:
+            step_error = float(
+                np.clip(error, -self.clip_gradient, self.clip_gradient)
+            )
+        self.weights -= self.learning_rate * (step_error * x + self.l2 * self.weights)
+        self.bias -= self.learning_rate * step_error
+        self.updates += 1
+        return error
+
+    def _check(self, features: Sequence[float]) -> np.ndarray:
+        x = np.asarray(features, dtype=float)
+        if x.shape != (self.n_features,):
+            raise ValueError(
+                f"expected {self.n_features} features, got shape {x.shape}"
+            )
+        return x

@@ -1,0 +1,123 @@
+"""Streaming metrics used by model-assessment safeguards.
+
+The paper's ``AssessModel`` functions all reduce to "track a quality
+statistic over a recent horizon and compare to a threshold":
+
+* SmartOverclock averages the reward gap Δr over the last 10 epochs;
+* SmartHarvest measures the recent fraction of epochs where predictions
+  starved the primary VM;
+* SmartMemory estimates the recent fraction of accesses its scan rates
+  missed.
+
+These helpers implement those horizon statistics once, correctly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+__all__ = ["RollingMean", "RollingRate", "StreamingMeanVar", "Ewma"]
+
+
+class RollingMean:
+    """Mean over the last ``window`` observations.
+
+    ``mean`` is ``None`` until ``min_count`` observations have arrived, so
+    safeguards don't fire off a single noisy epoch.
+    """
+
+    def __init__(self, window: int, min_count: int = 1) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 1 <= min_count <= window:
+            raise ValueError("need 1 <= min_count <= window")
+        self.window = window
+        self.min_count = min_count
+        self._values: Deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        if len(self._values) == self.window:
+            self._sum -= self._values[0]
+        self._values.append(float(value))
+        self._sum += float(value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        if len(self._values) < self.min_count:
+            return None
+        return self._sum / len(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._sum = 0.0
+
+
+class RollingRate(RollingMean):
+    """Fraction of ``True`` over the last ``window`` boolean observations."""
+
+    def observe(self, value: bool) -> None:  # type: ignore[override]
+        super().observe(1.0 if value else 0.0)
+
+    @property
+    def rate(self) -> Optional[float]:
+        return self.mean
+
+
+class StreamingMeanVar:
+    """Welford's online mean/variance (numerically stable)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return self.variance**0.5
+
+
+class Ewma:
+    """Exponentially weighted moving average.
+
+    Args:
+        alpha: weight of the newest observation, in (0, 1].
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    def observe(self, value: float) -> float:
+        if self._value is None:
+            self._value = float(value)
+        else:
+            self._value += self.alpha * (float(value) - self._value)
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value

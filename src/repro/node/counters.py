@@ -1,0 +1,110 @@
+"""Interval counter readings — the telemetry surface agents actually see.
+
+Agents never touch :class:`~repro.node.cpu.CpuModel` internals; they read
+hardware counters the way the paper's agents do (§5.1: "the agent collects
+multiple CPU counters"): take a snapshot, wait, take another, and derive
+interval metrics (IPS, α, utilization, average power) from the diff.
+
+:class:`CounterReader` packages that diffing, and is also the fault
+injection point for the invalid-data experiments (Figure 2): injectors
+corrupt the *readings*, exactly where misconfigured drivers or semantics
+changes corrupt them in production (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.node.cpu import CounterSnapshot, CpuModel
+from repro.sim.units import SEC
+
+__all__ = ["IntervalMetrics", "CounterReader"]
+
+
+@dataclass(frozen=True)
+class IntervalMetrics:
+    """Derived metrics over one collection interval.
+
+    Attributes:
+        start_us / end_us: the interval bounds.
+        ips: retired giga-instructions per second over the interval.
+        alpha: (unhalted − stalled) / total cycles — the paper's
+            overclocking-benefit indicator.
+        utilization: unhalted / total cycles.
+        mean_watts: average power over the interval.
+        freq_ghz: frequency at read time (the setting the agent chose).
+    """
+
+    start_us: int
+    end_us: int
+    ips: float
+    alpha: float
+    utilization: float
+    mean_watts: float
+    freq_ghz: float
+
+    @property
+    def duration_us(self) -> int:
+        return self.end_us - self.start_us
+
+
+#: An injector maps a genuine reading to a (possibly corrupted) reading.
+Injector = Callable[[IntervalMetrics], IntervalMetrics]
+
+
+class CounterReader:
+    """Stateful interval reader over a :class:`CpuModel`.
+
+    Each :meth:`read` returns metrics since the previous ``read`` (or
+    since construction).  Registered injectors are applied in order to
+    every reading, mirroring data corruption at the driver boundary.
+    """
+
+    def __init__(self, cpu: CpuModel) -> None:
+        self.cpu = cpu
+        self._previous: CounterSnapshot = cpu.snapshot()
+        self._injectors: List[Injector] = []
+
+    def add_injector(self, injector: Injector) -> None:
+        """Register a fault injector applied to all subsequent readings."""
+        self._injectors.append(injector)
+
+    def clear_injectors(self) -> None:
+        """Remove all fault injectors (end of an injection experiment)."""
+        self._injectors.clear()
+
+    def read(self) -> Optional[IntervalMetrics]:
+        """Metrics since the previous read; ``None`` for an empty interval."""
+        current = self.cpu.snapshot()
+        previous, self._previous = self._previous, current
+        metrics = self._derive(previous, current)
+        if metrics is None:
+            return None
+        for injector in self._injectors:
+            metrics = injector(metrics)
+        return metrics
+
+    def _derive(
+        self, previous: CounterSnapshot, current: CounterSnapshot
+    ) -> Optional[IntervalMetrics]:
+        duration_us = current.time_us - previous.time_us
+        if duration_us <= 0:
+            return None
+        duration_s = duration_us / SEC
+        d_instr = current.instructions - previous.instructions
+        d_unhalted = current.unhalted_cycles - previous.unhalted_cycles
+        d_stalled = current.stalled_cycles - previous.stalled_cycles
+        d_total = current.total_cycles - previous.total_cycles
+        d_energy = current.energy_joules - previous.energy_joules
+        alpha = (d_unhalted - d_stalled) / d_total if d_total > 0 else 0.0
+        utilization = d_unhalted / d_total if d_total > 0 else 0.0
+        return IntervalMetrics(
+            start_us=previous.time_us,
+            end_us=current.time_us,
+            ips=d_instr / duration_s,
+            alpha=alpha,
+            utilization=utilization,
+            mean_watts=d_energy / duration_s,
+            freq_ghz=self.cpu.frequency_ghz,
+        )

@@ -1,0 +1,253 @@
+"""CPU model: DVFS, hardware-counter accrual, and work execution.
+
+This is the substrate under SmartOverclock.  It models one VM's frequency
+domain (the paper's agent sets all of a VM's cores to the same frequency
+within an epoch, §6.2) and maintains the exact cumulative values of the
+counters the agent reads:
+
+* retired instructions (→ IPS over an interval),
+* unhalted / stalled / total cycles (→ the α factor of §5.1),
+* energy (→ average power over an interval).
+
+Counters accrue *lazily*: rates only change at discrete instants
+(frequency changes, workload phase changes), so the cumulative values are
+advanced analytically at each change or read.  No periodic simulation
+events are needed, which keeps hundreds of simulated seconds cheap.
+
+Workload model
+--------------
+A workload phase is three numbers:
+
+``utilization``    fraction of cycles the cores are unhalted;
+``boundness``      fraction of unhalted cycles doing useful work (high for
+                   CPU-bound code, low for disk/memory-bound code) — this
+                   is exactly the α=(unhalted−stalled)/total signal the
+                   paper's actuator safeguard monitors;
+``freq_scaling``   exponent ``s`` such that IPS ∝ f^s (1 = perfectly
+                   CPU-bound, 0 = no benefit from overclocking).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.node.power import PowerModel
+from repro.sim.kernel import Event, Kernel
+from repro.sim.units import SEC
+
+__all__ = ["CounterSnapshot", "CpuModel"]
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Cumulative hardware counters at one instant.
+
+    Units: instructions and cycles in giga-units; energy in joules.
+    """
+
+    time_us: int
+    instructions: float
+    unhalted_cycles: float
+    stalled_cycles: float
+    total_cycles: float
+    energy_joules: float
+
+
+class CpuModel:
+    """One VM's cores: frequency control plus exact counter accounting.
+
+    Args:
+        kernel: simulation kernel.
+        n_cores: cores in the frequency domain.
+        nominal_freq_ghz: the "safe" frequency the paper's safeguards
+            restore (1.5 GHz in §6.2).
+        min_freq_ghz / max_freq_ghz: clamp range for :meth:`set_frequency`.
+        max_ipc: instructions per cycle of a fully CPU-bound workload.
+        power_model: node power curve.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        n_cores: int = 8,
+        nominal_freq_ghz: float = 1.5,
+        min_freq_ghz: float = 1.0,
+        max_freq_ghz: float = 2.6,
+        max_ipc: float = 4.0,
+        power_model: PowerModel = PowerModel(),
+    ) -> None:
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if not min_freq_ghz <= nominal_freq_ghz <= max_freq_ghz:
+            raise ValueError("need min_freq <= nominal_freq <= max_freq")
+        self.kernel = kernel
+        self.n_cores = n_cores
+        self.nominal_freq_ghz = nominal_freq_ghz
+        self.min_freq_ghz = min_freq_ghz
+        self.max_freq_ghz = max_freq_ghz
+        self.max_ipc = max_ipc
+        self.power_model = power_model
+
+        self._freq_ghz = nominal_freq_ghz
+        self._utilization = 0.0
+        self._boundness = 1.0
+        self._freq_scaling = 1.0
+
+        self._instructions = 0.0
+        self._unhalted = 0.0
+        self._stalled = 0.0
+        self._total = 0.0
+        self._energy = 0.0
+        self._last_accrue_us = kernel.now
+
+        #: fires (and is replaced) whenever frequency or phase changes;
+        #: :meth:`run_work` races its ETA against this.
+        self.change: Event = kernel.event("cpu.change")
+
+    # -- state inspection ----------------------------------------------------
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Current core frequency."""
+        return self._freq_ghz
+
+    @property
+    def utilization(self) -> float:
+        """Current workload utilization (fraction of cycles unhalted)."""
+        return self._utilization
+
+    @property
+    def alpha(self) -> float:
+        """Instantaneous α = (unhalted − stalled) / total = u·β (§5.1)."""
+        return self._utilization * self._boundness
+
+    def instantaneous_watts(self) -> float:
+        """Current power draw."""
+        return self.power_model.watts(
+            self.n_cores, self._freq_ghz, self._utilization
+        )
+
+    def ips_rate(self) -> float:
+        """Current retirement rate in giga-instructions per second.
+
+        ``IPS(f) = u · β · max_ipc · n_cores · f_nom · (f/f_nom)^s`` —
+        linear in frequency for CPU-bound work (s=1), flat for
+        disk-bound work (s=0).
+        """
+        ratio = self._freq_ghz / self.nominal_freq_ghz
+        return (
+            self._utilization
+            * self._boundness
+            * self.max_ipc
+            * self.n_cores
+            * self.nominal_freq_ghz
+            * ratio**self._freq_scaling
+        )
+
+    # -- control -------------------------------------------------------------
+
+    def set_frequency(self, freq_ghz: float) -> float:
+        """Set the frequency (clamped to the model's range); returns it.
+
+        This is the agent's actuation point (SmartOverclock's
+        ``TakeAction``).
+        """
+        clamped = min(self.max_freq_ghz, max(self.min_freq_ghz, freq_ghz))
+        self._accrue()
+        self._freq_ghz = clamped
+        self._notify_change()
+        return clamped
+
+    def set_phase(
+        self,
+        utilization: float,
+        boundness: float = 1.0,
+        freq_scaling: float = 1.0,
+    ) -> None:
+        """Workload-side phase change (see module docstring for semantics)."""
+        for name, value in (
+            ("utilization", utilization),
+            ("boundness", boundness),
+            ("freq_scaling", freq_scaling),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._accrue()
+        self._utilization = utilization
+        self._boundness = boundness
+        self._freq_scaling = freq_scaling
+        self._notify_change()
+
+    def snapshot(self) -> CounterSnapshot:
+        """Read the cumulative counters (accrued to the current instant)."""
+        self._accrue()
+        return CounterSnapshot(
+            time_us=self.kernel.now,
+            instructions=self._instructions,
+            unhalted_cycles=self._unhalted,
+            stalled_cycles=self._stalled,
+            total_cycles=self._total,
+            energy_joules=self._energy,
+        )
+
+    # -- work execution --------------------------------------------------------
+
+    def run_work(
+        self, giga_instructions: float
+    ) -> Generator[Any, Any, None]:
+        """Process generator: complete ``giga_instructions`` of work.
+
+        Completion time depends on the frequency the agent sets *while the
+        work runs*; the generator re-plans whenever the CPU state changes.
+        The caller is responsible for setting a busy phase first (work
+        retires at :meth:`ips_rate`).
+
+        Usage::
+
+            cpu.set_phase(utilization=1.0, boundness=0.9)
+            yield from cpu.run_work(batch_size)
+            cpu.set_phase(utilization=0.0)
+        """
+        if giga_instructions < 0:
+            raise ValueError("work must be non-negative")
+        self._accrue()
+        target = self._instructions + giga_instructions
+        while True:
+            self._accrue()
+            remaining = target - self._instructions
+            if remaining <= 1e-9:
+                return
+            rate = self.ips_rate()
+            if rate <= 0.0:
+                # No progress possible (idle phase): wait for any change.
+                yield self.change
+                continue
+            eta_us = int(math.ceil(remaining / rate * SEC))
+            waiter = self.kernel.event("cpu.work")
+            self.kernel.call_later(eta_us, lambda w=waiter: w.succeed("eta"))
+            self.change.add_callback(lambda _v, w=waiter: w.succeed("change"))
+            yield waiter
+
+    # -- internals -------------------------------------------------------------
+
+    def _accrue(self) -> None:
+        now = self.kernel.now
+        elapsed_s = (now - self._last_accrue_us) / SEC
+        if elapsed_s <= 0.0:
+            return
+        total_rate = self.n_cores * self._freq_ghz  # giga-cycles per second
+        unhalted_rate = self._utilization * total_rate
+        stalled_rate = unhalted_rate * (1.0 - self._boundness)
+        self._total += total_rate * elapsed_s
+        self._unhalted += unhalted_rate * elapsed_s
+        self._stalled += stalled_rate * elapsed_s
+        self._instructions += self.ips_rate() * elapsed_s
+        self._energy += self.instantaneous_watts() * elapsed_s
+        self._last_accrue_us = now
+
+    def _notify_change(self) -> None:
+        old = self.change
+        self.change = self.kernel.event("cpu.change")
+        old.succeed(None)

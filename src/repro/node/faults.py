@@ -1,0 +1,191 @@
+"""Fault injection — the failure conditions of §3.2, as first-class objects.
+
+The paper evaluates SOL by injecting failures "into the system" (§6.1):
+
+* **bad input data** — out-of-range counter readings (Figure 2, Figure 6
+  left): injected at the counter-read boundary via
+  :func:`bad_ips_injector` / :func:`bad_usage_injector`;
+* **broken models** — a model that consistently selects the worst action
+  (Figure 3, Figure 6 middle): injected at the model-output boundary via
+  :class:`ModelBreaker`;
+* **scheduling delays** — the agent's Model loop is starved for a period
+  (Figure 4, Figure 6 right): injected at the loop-scheduling boundary
+  via :class:`DelayInjector`, which the SOL runtime consults between
+  operations.
+
+Keeping injection at these three boundaries matches where production
+failures actually enter: the driver, the learner, and the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.node.counters import IntervalMetrics
+
+__all__ = [
+    "bad_ips_injector",
+    "bad_usage_injector",
+    "ModelBreaker",
+    "DelayInjector",
+]
+
+
+def bad_ips_injector(
+    rng: np.random.Generator,
+    probability: float,
+    bad_value: float = 1e9,
+) -> Callable[[IntervalMetrics], IntervalMetrics]:
+    """Corrupt a fraction of IPS readings with an out-of-range value.
+
+    Reproduces Figure 2's invalid-data experiment: "randomly returning
+    out-of-range IPS readings to the agent a fixed percentage of the
+    time".  The returned injector plugs into
+    :meth:`repro.node.counters.CounterReader.add_injector`.
+
+    Args:
+        rng: random stream dedicated to this injector.
+        probability: chance each reading is corrupted.
+        bad_value: the out-of-range IPS to substitute (default far above
+            any feasible ``max_freq · max_IPC`` bound, so range checks
+            catch it — the *interesting* case is agents without checks).
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+
+    def inject(metrics: IntervalMetrics) -> IntervalMetrics:
+        if rng.random() < probability:
+            return replace(metrics, ips=bad_value)
+        return metrics
+
+    return inject
+
+
+def bad_usage_injector(
+    rng: np.random.Generator,
+    probability: float,
+    scale: float = 0.0,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Corrupt CPU-usage sample arrays (SmartHarvest's model input).
+
+    With probability ``probability`` the whole sample window is scaled by
+    ``scale`` (default 0: reads as "VM idle"), biasing an unguarded model
+    toward underprediction.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+
+    def inject(samples: np.ndarray) -> np.ndarray:
+        if rng.random() < probability:
+            return samples * scale
+        return samples
+
+    return inject
+
+
+def stuck_usage_injector(
+    rng: np.random.Generator,
+    probability: float,
+    sentinel: float = -1.0,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Misconfigured usage counter: reads return an error sentinel.
+
+    A stuck or misconfigured hypervisor counter returns its error value
+    instead of real samples ("telemetry collection can fail in a variety
+    of ways — e.g., misconfigured drivers", §3.2).  The sentinel is out
+    of physical range, so SmartHarvest's range check ``ValidateData``
+    discards it; an unguarded agent instead learns "the primary needs
+    zero cores" and harvests the node hollow (Figure 6 left).
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+
+    def inject(samples: np.ndarray) -> np.ndarray:
+        if rng.random() < probability:
+            return np.full_like(samples, sentinel)
+        return samples
+
+    return inject
+
+
+class ModelBreaker:
+    """Switchable model-output override (the "broken model" failures).
+
+    The experiment harness arms the breaker at a chosen simulated time;
+    while armed, the agent's model produces ``broken_value`` regardless of
+    its learned state.  SmartOverclock's breaker forces the maximum
+    frequency (Figure 3); SmartHarvest's forces a prediction of zero
+    cores needed (Figure 6 middle).
+    """
+
+    def __init__(self, broken_value) -> None:
+        self.broken_value = broken_value
+        self._armed = False
+        self.activations = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def arm(self) -> None:
+        """Start overriding model outputs."""
+        self._armed = True
+
+    def disarm(self) -> None:
+        """Stop overriding; the real model output flows again."""
+        self._armed = False
+
+    def apply(self, value):
+        """Return the (possibly overridden) model output."""
+        if self._armed:
+            self.activations += 1
+            return self.broken_value
+        return value
+
+
+class DelayInjector:
+    """Scheduling-delay plan for an agent loop.
+
+    Holds ``(at_us, duration_us)`` windows.  The SOL runtime asks
+    :meth:`pending_delay` between operations; a hit stalls the loop for
+    the window's duration, reproducing host-side throttling ("agents will
+    be throttled for arbitrary periods of time", §3.2).  One-shot windows
+    can also be armed dynamically by experiment triggers (e.g. Figure 4
+    injects a 30 s delay exactly when the workload finishes a batch).
+    """
+
+    def __init__(self) -> None:
+        self._windows: List[Tuple[int, int]] = []
+        self._pending: Optional[int] = None
+        self.triggered: List[Tuple[int, int]] = []
+
+    def add_window(self, at_us: int, duration_us: int) -> None:
+        """Schedule a delay of ``duration_us`` at absolute time ``at_us``."""
+        if at_us < 0 or duration_us <= 0:
+            raise ValueError("need at_us >= 0 and duration_us > 0")
+        self._windows.append((at_us, duration_us))
+        self._windows.sort()
+
+    def trigger_now(self, duration_us: int) -> None:
+        """Arm a one-shot delay to be consumed at the next check."""
+        if duration_us <= 0:
+            raise ValueError("duration must be positive")
+        self._pending = duration_us
+
+    def pending_delay(self, now_us: int) -> int:
+        """Delay (µs) the loop must stall for at ``now_us``; 0 if none.
+
+        Consumes at most one window/trigger per call.
+        """
+        if self._pending is not None:
+            duration, self._pending = self._pending, None
+            self.triggered.append((now_us, duration))
+            return duration
+        while self._windows and self._windows[0][0] <= now_us:
+            _at, duration = self._windows.pop(0)
+            self.triggered.append((now_us, duration))
+            return duration
+        return 0

@@ -1,0 +1,248 @@
+"""Simulated hypervisor: vCPU scheduling, wait accounting, core harvesting.
+
+This is the substrate under SmartHarvest.  The paper's agent runs on the
+Hyper-V root partition and observes two hypervisor counters:
+
+* per-VM CPU usage sampled every 50 µs (model input), and
+* how long virtual cores waited for physical cores (the actuator
+  safeguard's QoS proxy, §5.2).
+
+We reproduce both from a fluid model: the primary VM group presents a
+piecewise-constant *demand* (cores it wants to run), the agent controls
+the *allocation* (physical cores left to the primary after harvesting),
+and the hypervisor accounts exactly for
+
+``usage = min(demand, allocated)``    (cores actually running)
+``deficit = max(0, demand − allocated)``  (vCPU wait accrual rate)
+``elastic = n_cores − allocated``     (cores loaned to the ElasticVM).
+
+All integrals accrue lazily at change points, so 50 µs sampling is
+reconstructed analytically (see :meth:`Hypervisor.sample_usage`) instead
+of simulated event-by-event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.kernel import Kernel
+from repro.sim.units import SEC
+
+__all__ = ["HypervisorSnapshot", "Hypervisor"]
+
+
+@dataclass(frozen=True)
+class HypervisorSnapshot:
+    """Cumulative scheduling integrals at one instant (core-microseconds)."""
+
+    time_us: int
+    demand_cus: float
+    usage_cus: float
+    deficit_cus: float
+    elastic_cus: float
+
+    def wait_seconds(self) -> float:
+        """Total vCPU wait accumulated so far, in core-seconds."""
+        return self.deficit_cus / SEC
+
+
+class Hypervisor:
+    """Fluid-model hypervisor for one primary VM group plus an ElasticVM.
+
+    Args:
+        kernel: simulation kernel.
+        n_cores: physical cores available to the primary group when no
+            harvesting is active.
+        history_horizon_us: how much demand/allocation history to keep for
+            telemetry reconstruction (must cover the model's collection
+            window; SmartHarvest uses 25 ms epochs).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        n_cores: int = 8,
+        history_horizon_us: int = 500_000,
+    ) -> None:
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        self.kernel = kernel
+        self.n_cores = n_cores
+        self._horizon = history_horizon_us
+        self._demand = 0.0
+        self._allocated = float(n_cores)
+        # closed history segments: (start_us, end_us, demand, allocated)
+        self._history: list = []
+        self._segment_start = kernel.now
+        # cumulative integrals, core-microseconds
+        self._demand_cus = 0.0
+        self._usage_cus = 0.0
+        self._deficit_cus = 0.0
+        self._elastic_cus = 0.0
+        self._last_accrue_us = kernel.now
+        self._harvest_enabled = True
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def demand(self) -> float:
+        """Current primary-VM demand in cores."""
+        return self._demand
+
+    @property
+    def allocated(self) -> float:
+        """Cores currently available to the primary group."""
+        return self._allocated
+
+    @property
+    def harvested(self) -> float:
+        """Cores currently loaned to the ElasticVM."""
+        return self.n_cores - self._allocated
+
+    @property
+    def usage(self) -> float:
+        """Cores the primary group is actually running on right now."""
+        return min(self._demand, self._allocated)
+
+    @property
+    def deficit(self) -> float:
+        """Cores the primary group wants but cannot get right now."""
+        return max(0.0, self._demand - self._allocated)
+
+    # -- control ----------------------------------------------------------------
+
+    def set_demand(self, cores: float) -> None:
+        """Workload-side: the primary group now wants ``cores`` cores."""
+        if cores < 0:
+            raise ValueError("demand must be non-negative")
+        self._change(demand=min(float(cores), float(self.n_cores)))
+
+    def set_harvested(self, cores: int) -> int:
+        """Agent-side: loan ``cores`` cores to the ElasticVM.
+
+        The request is clamped to [0, n_cores].  Returns the applied value.
+        This is SmartHarvest's ``TakeAction`` actuation point.
+        """
+        applied = max(0, min(int(cores), self.n_cores))
+        self._change(allocated=float(self.n_cores - applied))
+        return applied
+
+    def return_all_cores(self) -> None:
+        """Give every core back to the primary group (safeguard/cleanup)."""
+        self.set_harvested(0)
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def snapshot(self) -> HypervisorSnapshot:
+        """Read cumulative scheduling integrals (accrued to now)."""
+        self._accrue()
+        return HypervisorSnapshot(
+            time_us=self.kernel.now,
+            demand_cus=self._demand_cus,
+            usage_cus=self._usage_cus,
+            deficit_cus=self._deficit_cus,
+            elastic_cus=self._elastic_cus,
+        )
+
+    def sample_usage(
+        self,
+        window_us: int,
+        period_us: int,
+        rng: Optional[np.random.Generator] = None,
+        noise_cores: float = 0.0,
+    ) -> np.ndarray:
+        """Reconstruct 50 µs-style usage samples over the trailing window.
+
+        Returns one sample per ``period_us`` covering
+        ``[now − window_us, now)``, each the usage (cores running) at that
+        instant, optionally with truncated Gaussian measurement noise.
+        This reproduces the paper's fine-grained telemetry (§3.1: "the
+        SmartHarvest agent captures CPU telemetry every 50 µs") without
+        simulating per-sample events.
+        """
+        if period_us <= 0 or window_us <= 0:
+            raise ValueError("window and period must be positive")
+        now = self.kernel.now
+        start = max(0, now - window_us)
+        times = np.arange(start, now, period_us, dtype=np.int64)
+        if times.size == 0:
+            return np.zeros(0)
+        demand = np.empty(times.size)
+        allocated = np.empty(times.size)
+        index = 0
+        for seg_start, seg_end, seg_demand, seg_alloc in self._segments():
+            while index < times.size and times[index] < seg_end:
+                if times[index] >= seg_start:
+                    demand[index] = seg_demand
+                    allocated[index] = seg_alloc
+                    index += 1
+                else:  # before retained history: assume earliest segment
+                    demand[index] = seg_demand
+                    allocated[index] = seg_alloc
+                    index += 1
+        while index < times.size:  # at/after the open segment start
+            demand[index] = self._demand
+            allocated[index] = self._allocated
+            index += 1
+        usage = np.minimum(demand, allocated)
+        if rng is not None and noise_cores > 0.0:
+            usage = usage + rng.normal(0.0, noise_cores, size=usage.size)
+            usage = np.clip(usage, 0.0, allocated)
+        return usage
+
+    def max_demand_over(self, window_us: int) -> float:
+        """Exact maximum primary demand over the trailing window.
+
+        Experiments use this as the ground-truth label when scoring the
+        agent's predictions.
+        """
+        now = self.kernel.now
+        start = max(0, now - window_us)
+        peak = self._demand
+        for seg_start, seg_end, seg_demand, _alloc in self._segments():
+            if seg_end > start and seg_start < now:
+                peak = max(peak, seg_demand)
+        return peak
+
+    # -- internals ----------------------------------------------------------------
+
+    def _segments(self):
+        """Closed history segments plus the open current one."""
+        yield from self._history
+        now = self.kernel.now
+        if now > self._segment_start:
+            yield (self._segment_start, now, self._demand, self._allocated)
+
+    def _change(
+        self,
+        demand: Optional[float] = None,
+        allocated: Optional[float] = None,
+    ) -> None:
+        self._accrue()
+        now = self.kernel.now
+        if now > self._segment_start:
+            self._history.append(
+                (self._segment_start, now, self._demand, self._allocated)
+            )
+            cutoff = now - self._horizon
+            while self._history and self._history[0][1] <= cutoff:
+                self._history.pop(0)
+        if demand is not None:
+            self._demand = demand
+        if allocated is not None:
+            self._allocated = allocated
+        self._segment_start = now
+
+    def _accrue(self) -> None:
+        now = self.kernel.now
+        elapsed = now - self._last_accrue_us
+        if elapsed <= 0:
+            return
+        self._demand_cus += self._demand * elapsed
+        self._usage_cus += self.usage * elapsed
+        self._deficit_cus += self.deficit * elapsed
+        self._elastic_cus += self.harvested * elapsed
+        self._last_accrue_us = now

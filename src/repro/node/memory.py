@@ -1,0 +1,284 @@
+"""Two-tier memory substrate: regions, access bits, scanning, migration.
+
+This is the substrate under SmartMemory (§5.3).  Memory is divided into
+2 MB *regions* of 512 4 KB pages.  A fast first tier (local DRAM) backs
+some regions; the rest live in a slow second tier (persistent or
+disaggregated memory).  The agent learns per-region scan frequencies and
+classifies regions hot/warm/cold.
+
+What the substrate models:
+
+* **Access generation** — each region has a piecewise-constant access
+  rate (accesses/second) driven by the workload's popularity
+  distribution.  True per-region access totals accrue analytically.
+* **Access-bit scanning** — scanning a region reports how many of its
+  pages were touched since the previous scan and clears those bits.
+  Page-touch counts follow the standard Poisson-occupancy model: with
+  ``a`` accesses spread over ``P`` pages, the expected number of distinct
+  touched pages is ``P·(1 − exp(−a/P))``.  This is what produces the
+  paper's *saturation* effect: at slow scan rates every warmish region
+  shows all bits set and hotness becomes indistinguishable (Figure 7's
+  min-frequency SLO collapse).
+* **Reset cost** — every set bit cleared is one TLB flush; the paper's
+  top-of-Figure-7 metric is the total number of access-bit resets.
+* **Tier accounting** — accesses to second-tier regions are *remote*;
+  the fraction of remote accesses over a window is the SLO the actuator
+  safeguard enforces (≤ 20% remote).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.kernel import Kernel
+from repro.sim.units import SEC
+
+__all__ = ["Tier", "ScanResult", "MemorySnapshot", "TieredMemory"]
+
+
+class Tier(enum.Enum):
+    """Which tier currently backs a region."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of scanning one region's access bits.
+
+    Attributes:
+        region: region index.
+        set_bits: pages observed touched since the previous scan (0 if
+            ``error``).
+        pages: pages per region (the scan walked all of them).
+        elapsed_us: time since the previous scan of this region.
+        saturated: nearly all bits were set — the reading carries no
+            rate information beyond a lower bound (undersampling signal).
+        error: the scanning driver failed (fault injection); the paper's
+            ``ValidateData`` fails such samples (§5.3).
+    """
+
+    region: int
+    set_bits: int
+    pages: int
+    elapsed_us: int
+    saturated: bool
+    error: bool = False
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """Cumulative memory accounting at one instant."""
+
+    time_us: int
+    local_accesses: float
+    remote_accesses: float
+    bit_resets: int
+    pages_scanned: int
+    migrations: int
+
+    @property
+    def total_accesses(self) -> float:
+        return self.local_accesses + self.remote_accesses
+
+    def remote_fraction(self) -> float:
+        """Fraction of accesses served remotely (0 when idle)."""
+        total = self.total_accesses
+        return self.remote_accesses / total if total > 0 else 0.0
+
+
+class TieredMemory:
+    """The two-tier memory of one VM, in region granularity.
+
+    Args:
+        kernel: simulation kernel.
+        n_regions: number of 2 MB regions (512 ≈ a 1 GB VM).
+        pages_per_region: 4 KB pages per region (512 in the paper).
+        rng: generator for the stochastic part of access-bit occupancy;
+            ``None`` uses deterministic expectations (useful in tests).
+        saturation_fraction: fraction of set bits above which a scan is
+            reported saturated.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        n_regions: int = 512,
+        pages_per_region: int = 512,
+        rng: Optional[np.random.Generator] = None,
+        saturation_fraction: float = 0.98,
+    ) -> None:
+        if n_regions <= 0 or pages_per_region <= 0:
+            raise ValueError("n_regions and pages_per_region must be positive")
+        self.kernel = kernel
+        self.n_regions = n_regions
+        self.pages_per_region = pages_per_region
+        self.rng = rng
+        self.saturation_fraction = saturation_fraction
+
+        self._rates = np.zeros(n_regions)  # accesses per second
+        self._local = np.ones(n_regions, dtype=bool)  # all start in tier 1
+        self._true_accesses = np.zeros(n_regions)  # cumulative per region
+        self._accesses_at_last_scan = np.zeros(n_regions)
+        self._last_scan_us = np.zeros(n_regions, dtype=np.int64)
+        self._local_accesses = 0.0
+        self._remote_accesses = 0.0
+        self._bit_resets = 0
+        self._pages_scanned = 0
+        self._migrations = 0
+        self._last_accrue_us = kernel.now
+        self._scan_fault_probability = 0.0
+
+    # -- workload side ----------------------------------------------------------
+
+    def set_rates(self, rates: Sequence[float]) -> None:
+        """Set all region access rates (accesses/second) at once."""
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != (self.n_regions,):
+            raise ValueError(
+                f"expected {self.n_regions} rates, got shape {rates.shape}"
+            )
+        if np.any(rates < 0):
+            raise ValueError("rates must be non-negative")
+        self._accrue()
+        self._rates = rates.copy()
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Current per-region access rates (copy)."""
+        return self._rates.copy()
+
+    # -- agent side ----------------------------------------------------------------
+
+    def scan(self, region: int) -> ScanResult:
+        """Scan one region's access bits, clearing them (costs TLB flushes)."""
+        self._check_region(region)
+        self._accrue()
+        now = self.kernel.now
+        elapsed_us = int(now - self._last_scan_us[region])
+        if (
+            self._scan_fault_probability > 0.0
+            and self.rng is not None
+            and self.rng.random() < self._scan_fault_probability
+        ):
+            # Driver error: bits are left untouched, no reading produced.
+            return ScanResult(
+                region=region,
+                set_bits=0,
+                pages=self.pages_per_region,
+                elapsed_us=elapsed_us,
+                saturated=False,
+                error=True,
+            )
+        accesses = (
+            self._true_accesses[region] - self._accesses_at_last_scan[region]
+        )
+        set_bits = self._occupancy(accesses)
+        self._accesses_at_last_scan[region] = self._true_accesses[region]
+        self._last_scan_us[region] = now
+        self._bit_resets += set_bits
+        self._pages_scanned += self.pages_per_region
+        saturated = set_bits >= self.saturation_fraction * self.pages_per_region
+        return ScanResult(
+            region=region,
+            set_bits=set_bits,
+            pages=self.pages_per_region,
+            elapsed_us=elapsed_us,
+            saturated=saturated,
+        )
+
+    def migrate(self, region: int, tier: Tier) -> bool:
+        """Move a region to ``tier``; returns ``True`` if it actually moved."""
+        self._check_region(region)
+        target_local = tier is Tier.LOCAL
+        if self._local[region] == target_local:
+            return False
+        self._accrue()
+        self._local[region] = target_local
+        self._migrations += 1
+        return True
+
+    def migrate_many(self, regions: Iterable[int], tier: Tier) -> int:
+        """Migrate several regions; returns how many actually moved."""
+        return sum(1 for region in regions if self.migrate(region, tier))
+
+    def tier_of(self, region: int) -> Tier:
+        """Current tier of a region."""
+        self._check_region(region)
+        return Tier.LOCAL if self._local[region] else Tier.REMOTE
+
+    @property
+    def n_local(self) -> int:
+        """Number of regions currently in first-tier DRAM."""
+        return int(self._local.sum())
+
+    @property
+    def local_regions(self) -> np.ndarray:
+        """Indices of first-tier regions."""
+        return np.flatnonzero(self._local)
+
+    @property
+    def remote_regions(self) -> np.ndarray:
+        """Indices of second-tier regions."""
+        return np.flatnonzero(~self._local)
+
+    def snapshot(self) -> MemorySnapshot:
+        """Read cumulative accounting (accrued to now)."""
+        self._accrue()
+        return MemorySnapshot(
+            time_us=self.kernel.now,
+            local_accesses=self._local_accesses,
+            remote_accesses=self._remote_accesses,
+            bit_resets=self._bit_resets,
+            pages_scanned=self._pages_scanned,
+            migrations=self._migrations,
+        )
+
+    def true_region_accesses(self) -> np.ndarray:
+        """Cumulative true accesses per region (experiment ground truth)."""
+        self._accrue()
+        return self._true_accesses.copy()
+
+    # -- fault injection ----------------------------------------------------------
+
+    def set_scan_fault_probability(self, probability: float) -> None:
+        """Make each scan fail (driver error) with this probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if probability > 0.0 and self.rng is None:
+            raise ValueError("scan faults require an rng")
+        self._scan_fault_probability = probability
+
+    # -- internals -------------------------------------------------------------------
+
+    def _occupancy(self, accesses: float) -> int:
+        """Distinct pages touched by ``accesses`` accesses (Poisson model)."""
+        pages = self.pages_per_region
+        if accesses <= 0:
+            return 0
+        expected_fraction = 1.0 - np.exp(-accesses / pages)
+        if self.rng is None:
+            return int(round(pages * expected_fraction))
+        return int(self.rng.binomial(pages, expected_fraction))
+
+    def _accrue(self) -> None:
+        now = self.kernel.now
+        elapsed_s = (now - self._last_accrue_us) / SEC
+        if elapsed_s <= 0:
+            return
+        delta = self._rates * elapsed_s
+        self._true_accesses += delta
+        self._local_accesses += float(delta[self._local].sum())
+        self._remote_accesses += float(delta[~self._local].sum())
+        self._last_accrue_us = now
+
+    def _check_region(self, region: int) -> None:
+        if not 0 <= region < self.n_regions:
+            raise IndexError(
+                f"region {region} out of range [0, {self.n_regions})"
+            )

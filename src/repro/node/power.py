@@ -1,0 +1,64 @@
+"""Server power model.
+
+The paper's SmartOverclock experiments run with C-states disabled ("we
+disable simultaneous multithreading, C-states, and Turbo-Boost", §6.1),
+so even *idle* cores draw frequency-dependent power — that is why
+overclocking an idle workload wastes power (Figures 4 and 5), and why the
+agent's safeguards matter.
+
+We use the standard CMOS approximation: dynamic power scales with ``f³``
+(frequency times the square of the roughly-proportional voltage), plus a
+platform-static floor::
+
+    P(f, u) = static + coeff · n_cores · f³ · (idle_activity + (1-idle_activity) · u)
+
+where ``u`` is utilization (fraction of unhalted cycles) and
+``idle_activity`` models the draw of a spinning-idle core with C-states
+disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Parameters of the node power curve.
+
+    Attributes:
+        static_watts: platform draw independent of core activity
+            (uncore, memory, fans, VRs).
+        dynamic_coeff: watts per core per GHz³ at full utilization.
+        idle_activity: fraction of the dynamic draw consumed by an idle
+            core (C-states disabled → clock keeps toggling).  0 would mean
+            perfect clock gating; the paper's setup is closer to ~0.35.
+    """
+
+    static_watts: float = 60.0
+    dynamic_coeff: float = 2.0
+    idle_activity: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.static_watts < 0:
+            raise ValueError("static_watts must be non-negative")
+        if self.dynamic_coeff <= 0:
+            raise ValueError("dynamic_coeff must be positive")
+        if not 0.0 <= self.idle_activity <= 1.0:
+            raise ValueError("idle_activity must be in [0, 1]")
+
+    def watts(self, n_cores: int, freq_ghz: float, utilization: float) -> float:
+        """Instantaneous node power draw.
+
+        Args:
+            n_cores: number of cores in the frequency domain.
+            freq_ghz: current core frequency.
+            utilization: fraction of cycles unhalted, in [0, 1].
+        """
+        activity = self.idle_activity + (1.0 - self.idle_activity) * utilization
+        return (
+            self.static_watts
+            + self.dynamic_coeff * n_cores * freq_ghz**3 * activity
+        )

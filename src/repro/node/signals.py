@@ -1,0 +1,167 @@
+"""Piecewise-constant signals with exact lazy integration.
+
+The node substrate avoids fine-grained simulation events by representing
+time-varying quantities (CPU demand, utilization, power draw) as
+piecewise-constant signals: the value only changes at discrete instants
+(workload phase changes, agent actions), and integrals over arbitrary
+windows are computed analytically.  This is what lets the reproduction
+model 50 µs telemetry sampling over hundreds of simulated seconds without
+creating 50 µs events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Tuple
+
+from repro.sim.kernel import Kernel
+
+__all__ = ["PiecewiseConstant", "SlidingWindowQuantile"]
+
+
+class PiecewiseConstant:
+    """A piecewise-constant signal of simulation time.
+
+    Tracks the current value, the exact running integral, and (optionally)
+    a bounded history of past segments so samplers can reconstruct the
+    signal's trajectory over a recent window.
+
+    Args:
+        kernel: simulation kernel supplying the clock.
+        initial: the signal value at time 0.
+        history_horizon_us: how much trailing history to retain for
+            :meth:`segments_since`; older segments are discarded.  ``None``
+            keeps no history (integral and current value still work).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        initial: float = 0.0,
+        history_horizon_us: Optional[int] = None,
+    ) -> None:
+        self.kernel = kernel
+        self._value = float(initial)
+        self._last_change_us = kernel.now
+        self._integral = 0.0
+        self._horizon = history_horizon_us
+        # history holds closed segments as (start_us, end_us, value)
+        self._history: Deque[Tuple[int, int, float]] = deque()
+
+    @property
+    def value(self) -> float:
+        """Current signal value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Change the signal value as of the current simulation time."""
+        now = self.kernel.now
+        if now > self._last_change_us:
+            self._integral += self._value * (now - self._last_change_us)
+            if self._horizon is not None:
+                self._history.append((self._last_change_us, now, self._value))
+                self._trim(now)
+        self._value = float(value)
+        self._last_change_us = now
+
+    def add(self, delta: float) -> None:
+        """Increment the signal by ``delta`` (convenience for counters)."""
+        self.set(self._value + delta)
+
+    def integral(self) -> float:
+        """Exact integral of the signal from time 0 to now (value·µs)."""
+        now = self.kernel.now
+        return self._integral + self._value * (now - self._last_change_us)
+
+    def mean_over(self, window_us: int) -> float:
+        """Mean value over the trailing ``window_us`` (needs history).
+
+        Falls back to the current value when no history is retained or the
+        window extends past the retained horizon's oldest segment.
+        """
+        if window_us <= 0:
+            return self._value
+        now = self.kernel.now
+        start = max(0, now - window_us)
+        total = 0.0
+        covered = 0
+        for seg_start, seg_end, value in self.segments_since(start):
+            span = seg_end - seg_start
+            total += value * span
+            covered += span
+        if covered == 0:
+            return self._value
+        return total / covered
+
+    def segments_since(self, start_us: int) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(start, end, value)`` segments covering [start_us, now].
+
+        Segments are clipped to ``start_us``.  The open current segment is
+        included (ending at ``now``) when non-empty.
+        """
+        now = self.kernel.now
+        for seg_start, seg_end, value in self._history:
+            if seg_end <= start_us:
+                continue
+            yield max(seg_start, start_us), seg_end, value
+        if now > self._last_change_us:
+            yield max(self._last_change_us, start_us), now, self._value
+        elif now == self._last_change_us and now >= start_us:
+            # Zero-width current segment: still expose the present value so
+            # samplers landing exactly on a change instant see it.
+            yield now, now, self._value
+
+    def _trim(self, now: int) -> None:
+        cutoff = now - self._horizon
+        while self._history and self._history[0][1] <= cutoff:
+            self._history.popleft()
+
+
+class SlidingWindowQuantile:
+    """Quantiles over samples from a trailing time window.
+
+    Used by actuator safeguards (e.g. SmartOverclock monitors the P90 of α
+    over the last 100 s; SmartHarvest monitors P99 vCPU wait time).
+
+    Args:
+        kernel: simulation kernel supplying the clock.
+        window_us: samples older than this are evicted.
+    """
+
+    def __init__(self, kernel: Kernel, window_us: int) -> None:
+        if window_us <= 0:
+            raise ValueError(f"window must be positive, got {window_us}")
+        self.kernel = kernel
+        self.window_us = window_us
+        self._samples: Deque[Tuple[int, float]] = deque()
+
+    def observe(self, value: float) -> None:
+        """Record a sample at the current time."""
+        self._samples.append((self.kernel.now, float(value)))
+        self._evict()
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile of in-window samples, or ``None`` if empty.
+
+        Uses the nearest-rank method, which is what production telemetry
+        pipelines typically report for P90/P99.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        self._evict()
+        if not self._samples:
+            return None
+        values: List[float] = sorted(v for _t, v in self._samples)
+        index = min(len(values) - 1, max(0, int(q * len(values) + 0.5) - 1))
+        if q == 0.0:
+            index = 0
+        return values[index]
+
+    def __len__(self) -> int:
+        self._evict()
+        return len(self._samples)
+
+    def _evict(self) -> None:
+        cutoff = self.kernel.now - self.window_us
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()

@@ -1,0 +1,52 @@
+"""Virtual machine descriptor tying the node substrate together.
+
+The paper's agents manage *opaque* VMs: they see hypervisor-level
+telemetry but never application internals.  :class:`VirtualMachine`
+groups the per-VM substrate handles so examples and experiments can pass
+one object around instead of three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.node.cpu import CpuModel
+from repro.node.hypervisor import Hypervisor
+from repro.node.memory import TieredMemory
+
+__all__ = ["VirtualMachine"]
+
+
+@dataclass
+class VirtualMachine:
+    """An opaque customer VM as seen from the node.
+
+    Attributes:
+        name: identifier used in logs and experiment output.
+        cpu: the VM's frequency domain and counters (``None`` when the
+            scenario does not exercise CPU control).
+        hypervisor: scheduling view for harvest scenarios.
+        memory: two-tier memory for memory-management scenarios.
+    """
+
+    name: str
+    cpu: Optional[CpuModel] = None
+    hypervisor: Optional[Hypervisor] = None
+    memory: Optional[TieredMemory] = None
+    metadata: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line inventory used by example scripts."""
+        parts = [self.name]
+        if self.cpu is not None:
+            parts.append(
+                f"cpu={self.cpu.n_cores}c@{self.cpu.frequency_ghz:.1f}GHz"
+            )
+        if self.hypervisor is not None:
+            parts.append(f"sched={self.hypervisor.n_cores}pcores")
+        if self.memory is not None:
+            parts.append(
+                f"mem={self.memory.n_regions}x{self.memory.pages_per_region}p"
+            )
+        return " ".join(parts)

@@ -1,0 +1,21 @@
+"""Production-platform characterization data (paper §2, Tables 1-2)."""
+
+from repro.platform.taxonomy import (
+    TABLE1_TAXONOMY,
+    TABLE2_LEARNING_AGENTS,
+    AgentClass,
+    LearningAgentExample,
+    learning_beneficiary_fraction,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "AgentClass",
+    "LearningAgentExample",
+    "TABLE1_TAXONOMY",
+    "TABLE2_LEARNING_AGENTS",
+    "learning_beneficiary_fraction",
+    "render_table1",
+    "render_table2",
+]

@@ -1,0 +1,169 @@
+"""The paper's agent characterization data (Tables 1 and 2, §2-§3).
+
+Table 1 categorizes the 77 node agents running in Azure into six
+classes; Table 2 catalogs recent on-node learning resource-control
+agents.  These tables are data, not computation — reproduced here so the
+benchmark harness can regenerate them and so the library can answer
+"which agent classes benefit from on-node learning?" programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = [
+    "AgentClass",
+    "LearningAgentExample",
+    "TABLE1_TAXONOMY",
+    "TABLE2_LEARNING_AGENTS",
+    "learning_beneficiary_fraction",
+    "render_table1",
+    "render_table2",
+]
+
+
+@dataclass(frozen=True)
+class AgentClass:
+    """One row of Table 1: a class of production node agents."""
+
+    name: str
+    count: int
+    description: str
+    examples: str
+    benefits_from_learning: bool
+
+
+#: Table 1: Taxonomy of production agents (counts from the Azure survey).
+TABLE1_TAXONOMY: Tuple[AgentClass, ...] = (
+    AgentClass(
+        "Configuration", 25,
+        "Configure node HW, SW, or data",
+        "Credentials, firewalls, OS updates", False,
+    ),
+    AgentClass(
+        "Services", 23,
+        "Long-running node services",
+        "VM creation, live migration", False,
+    ),
+    AgentClass(
+        "Monitoring/logging", 18,
+        "Monitoring and logging node's state",
+        "CPU and OS counters, network telemetry", True,
+    ),
+    AgentClass(
+        "Watchdogs", 7,
+        "Watch for problems to alert/automitigate",
+        "Disk space, intrusions, HW errors", True,
+    ),
+    AgentClass(
+        "Resource control", 2,
+        "Manage resource assignments",
+        "Power capping, memory management", True,
+    ),
+    AgentClass(
+        "Access", 2,
+        "Allow operators access to nodes",
+        "Filesystem access", False,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class LearningAgentExample:
+    """One row of Table 2: an on-node learning resource-control agent."""
+
+    name: str
+    goal: str
+    action: str
+    frequency: str
+    inputs: str
+    model: str
+
+
+#: Table 2: Examples of on-node learning resource control agents.
+TABLE2_LEARNING_AGENTS: Tuple[LearningAgentExample, ...] = (
+    LearningAgentExample(
+        "SmartHarvest [37]", "Harvest idle cores", "Core assignment",
+        "25 ms", "CPU usage", "Cost-sensitive classification",
+    ),
+    LearningAgentExample(
+        "Hipster [27]", "Reduce power draw",
+        "Core assignment & frequency", "1 s", "App QoS and load",
+        "Reinforcement learning",
+    ),
+    LearningAgentExample(
+        "LinnOS [16]", "Improve IO perf", "IO request routing/rejection",
+        "Every IO", "Latencies, queue sizes", "Binary classification",
+    ),
+    LearningAgentExample(
+        "ESP [25]", "Reduce interference", "App scheduling", "Every app",
+        "App run time, perf counters", "Regularized regression",
+    ),
+    LearningAgentExample(
+        "Overclocking (SmartOverclock, §5)", "Improve VM perf",
+        "CPU overclocking", "1 s", "Instructions per second",
+        "Reinforcement learning",
+    ),
+    LearningAgentExample(
+        "Disaggregation (SmartMemory, §5)", "Migrate pages",
+        "Warm/cold page ID", "100 ms", "Page table scans",
+        "Multi-armed bandits",
+    ),
+)
+
+
+def learning_beneficiary_fraction() -> float:
+    """Fraction of node agents that could benefit from on-node learning.
+
+    The paper's headline characterization number: "three classes, which
+    collectively make up 35% of all agents, can benefit from on-node
+    learning."
+    """
+    total = sum(cls.count for cls in TABLE1_TAXONOMY)
+    beneficiaries = sum(
+        cls.count for cls in TABLE1_TAXONOMY if cls.benefits_from_learning
+    )
+    return beneficiaries / total
+
+
+def _format_rows(header: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(str(row[i])) for row in [header] + rows)
+        for i in range(len(header))
+    ]
+    lines = []
+    for row in [header, ["-" * w for w in widths]] + rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Table 1 as the paper prints it, plus the 35% summary line."""
+    rows = [
+        [c.name, str(c.count), c.description, c.examples,
+         "Yes" if c.benefits_from_learning else "No"]
+        for c in TABLE1_TAXONOMY
+    ]
+    table = _format_rows(
+        ["Class", "Count", "Description", "Examples", "Benefit?"], rows
+    )
+    fraction = learning_beneficiary_fraction()
+    total = sum(c.count for c in TABLE1_TAXONOMY)
+    return (
+        f"{table}\n\nTotal agents: {total}; "
+        f"could benefit from learning: {fraction:.0%}"
+    )
+
+
+def render_table2() -> str:
+    """Table 2 as the paper prints it."""
+    rows = [
+        [a.name, a.goal, a.action, a.frequency, a.inputs, a.model]
+        for a in TABLE2_LEARNING_AGENTS
+    ]
+    return _format_rows(
+        ["Agent", "Goal", "Action", "Frequency", "Inputs", "Model"], rows
+    )

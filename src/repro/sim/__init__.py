@@ -1,0 +1,39 @@
+"""Deterministic discrete-event simulation substrate.
+
+Public surface::
+
+    from repro.sim import Kernel, Event, Process, SimQueue, QUEUE_TIMEOUT
+    from repro.sim import RngStreams
+    from repro.sim.units import US, MS, SEC, MINUTE
+"""
+
+from repro.sim.errors import (
+    KernelStopped,
+    ProcessKilled,
+    SchedulingError,
+    SimulationError,
+)
+from repro.sim.kernel import Event, Kernel, Process
+from repro.sim.queue import QUEUE_TIMEOUT, SimQueue
+from repro.sim.rng import RngStreams, stable_hash
+from repro.sim.units import HOUR, MINUTE, MS, SEC, US, format_duration
+
+__all__ = [
+    "Event",
+    "HOUR",
+    "Kernel",
+    "KernelStopped",
+    "MINUTE",
+    "MS",
+    "Process",
+    "ProcessKilled",
+    "QUEUE_TIMEOUT",
+    "RngStreams",
+    "SEC",
+    "SchedulingError",
+    "SimQueue",
+    "SimulationError",
+    "US",
+    "format_duration",
+    "stable_hash",
+]

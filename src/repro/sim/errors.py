@@ -1,0 +1,25 @@
+"""Exception hierarchy for the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled in the past or with a bad delay."""
+
+
+class ProcessKilled(SimulationError):
+    """Injected into a process generator when it is forcibly terminated.
+
+    The SOL runtime uses this to implement the SRE *CleanUp* path: killing a
+    misbehaving agent raises :class:`ProcessKilled` inside its loops so that
+    ``finally`` blocks still run, mirroring best-effort cleanup of a
+    crashed/hung agent process in production.
+    """
+
+
+class KernelStopped(SimulationError):
+    """Raised when interacting with a kernel after :meth:`Kernel.stop`."""

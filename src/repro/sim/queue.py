@@ -1,0 +1,114 @@
+"""Bounded message queue with timeout support for simulated processes.
+
+This is the channel between the SOL Model loop (producer of predictions)
+and the Actuator loop (consumer).  Its ``get``-with-timeout is what lets
+the Actuator remain *non-blocking*: the paper's runtime "waits on the
+prediction message queue for up to a maximum wait time" and takes a safe
+action on timeout (§4.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.kernel import Event, Kernel
+
+__all__ = ["QUEUE_TIMEOUT", "SimQueue"]
+
+
+class _Timeout:
+    """Sentinel returned by :meth:`SimQueue.get` when the wait expires."""
+
+    def __repr__(self) -> str:
+        return "QUEUE_TIMEOUT"
+
+
+#: Singleton sentinel distinguishing "timed out" from a ``None`` message.
+QUEUE_TIMEOUT = _Timeout()
+
+
+class SimQueue:
+    """FIFO queue for inter-process messaging inside the simulator.
+
+    Unlike a real queue there is no locking — the kernel is single
+    threaded — but the *temporal* semantics match: a consumer blocked in
+    :meth:`get` wakes at the exact simulated instant an item arrives or
+    its timeout elapses, whichever is first.
+
+    Args:
+        kernel: owning simulation kernel.
+        capacity: maximum queued items; ``put`` on a full queue drops the
+            *oldest* item.  The SOL prediction queue uses capacity 1 so the
+            Actuator always sees the freshest prediction (stale ones are
+            superseded, mirroring the paper's freshness-first design).
+    """
+
+    def __init__(self, kernel: Kernel, capacity: Optional[int] = None,
+                 name: str = "queue") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def dropped(self) -> int:
+        """Number of items displaced by capacity overflow (superseded)."""
+        return self._dropped
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiting consumer if any."""
+        while self._getters:
+            waiter = self._getters.popleft()
+            if waiter.succeed(item):
+                return
+        self._items.append(item)
+        if self.capacity is not None and len(self._items) > self.capacity:
+            self._items.popleft()
+            self._dropped += 1
+
+    def try_get(self) -> Any:
+        """Non-blocking get: the head item, or ``QUEUE_TIMEOUT`` if empty."""
+        if self._items:
+            return self._items.popleft()
+        return QUEUE_TIMEOUT
+
+    def get(self, timeout_us: Optional[int] = None
+            ) -> Generator[Any, Any, Any]:
+        """Process-side blocking get.
+
+        Usage inside a process generator::
+
+            item = yield from queue.get(timeout_us=5 * SEC)
+            if item is QUEUE_TIMEOUT:
+                ...take the safe default action...
+
+        Args:
+            timeout_us: maximum simulated wait; ``None`` waits forever.
+
+        Returns:
+            The dequeued item, or :data:`QUEUE_TIMEOUT` on expiry.
+        """
+        if self._items:
+            return self._items.popleft()
+        waiter = self.kernel.event(name=f"{self.name}.get")
+        self._getters.append(waiter)
+        if timeout_us is not None:
+            self.kernel.call_later(
+                timeout_us, lambda: waiter.succeed(QUEUE_TIMEOUT)
+            )
+        value = yield waiter
+        return value
+
+    def clear(self) -> int:
+        """Drop all queued items; returns how many were dropped."""
+        count = len(self._items)
+        self._items.clear()
+        return count

@@ -1,0 +1,57 @@
+"""Time units for the discrete-event simulator.
+
+The entire simulator uses **integer microseconds** as its time base.  Using
+integers keeps event ordering exact and experiments bit-for-bit
+reproducible; floating-point seconds only appear at reporting boundaries.
+
+The constants below let call sites write intent-revealing durations::
+
+    from repro.sim.units import MS, SEC
+
+    schedule = Schedule(data_collect_interval=100 * MS, max_epoch_time=1 * SEC)
+"""
+
+from __future__ import annotations
+
+#: One microsecond (the base unit).
+US: int = 1
+
+#: One millisecond in microseconds.
+MS: int = 1_000
+
+#: One second in microseconds.
+SEC: int = 1_000_000
+
+#: One minute in microseconds.
+MINUTE: int = 60 * SEC
+
+#: One hour in microseconds.
+HOUR: int = 60 * MINUTE
+
+
+def to_seconds(t_us: int) -> float:
+    """Convert an integer-microsecond timestamp/duration to float seconds."""
+    return t_us / SEC
+
+
+def from_seconds(t_s: float) -> int:
+    """Convert float seconds to integer microseconds (rounded to nearest).
+
+    Raises:
+        ValueError: if ``t_s`` is negative.
+    """
+    if t_s < 0:
+        raise ValueError(f"duration must be non-negative, got {t_s}")
+    return int(round(t_s * SEC))
+
+
+def format_duration(t_us: int) -> str:
+    """Render a duration human-readably, e.g. ``'2.500s'`` or ``'350ms'``.
+
+    Used by the experiment reporters and the runtime event log.
+    """
+    if t_us >= SEC:
+        return f"{t_us / SEC:.3f}s"
+    if t_us >= MS:
+        return f"{t_us / MS:.3f}ms"
+    return f"{t_us}us"

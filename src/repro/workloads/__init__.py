@@ -1,0 +1,40 @@
+"""Simulated customer workloads (the paper's evaluation applications)."""
+
+from repro.workloads.base import PerformanceReport, Workload
+from repro.workloads.diskspeed import DiskSpeedWorkload
+from repro.workloads.objectstore import ObjectStoreWorkload
+from repro.workloads.synthetic import SyntheticBatchWorkload
+from repro.workloads.tailbench import (
+    IMAGE_DNN,
+    MOSES,
+    DemandProfile,
+    TailBenchWorkload,
+)
+from repro.workloads.traces import (
+    OBJECTSTORE_MEM,
+    SPECJBB_MEM,
+    SQL_MEM,
+    OscillatingMemoryTrace,
+    TraceProfile,
+    ZipfMemoryTrace,
+    zipf_rates,
+)
+
+__all__ = [
+    "DemandProfile",
+    "DiskSpeedWorkload",
+    "IMAGE_DNN",
+    "MOSES",
+    "OBJECTSTORE_MEM",
+    "ObjectStoreWorkload",
+    "OscillatingMemoryTrace",
+    "PerformanceReport",
+    "SPECJBB_MEM",
+    "SQL_MEM",
+    "SyntheticBatchWorkload",
+    "TailBenchWorkload",
+    "TraceProfile",
+    "Workload",
+    "ZipfMemoryTrace",
+    "zipf_rates",
+]

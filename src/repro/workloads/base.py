@@ -1,0 +1,86 @@
+"""Workload base types.
+
+A workload is a simulated customer application: it drives the node
+substrate (CPU phases, hypervisor demand, memory access rates) from its
+own process and measures its own performance the way the paper reports
+it (total batch time, P99 latency, throughput).  Agents never see these
+objects — VMs are opaque; agents see only node counters.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.kernel import Kernel, Process
+
+__all__ = ["PerformanceReport", "Workload"]
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """A workload's self-measured performance.
+
+    Attributes:
+        metric: human-readable metric name ("p99 latency (ms)", ...).
+        value: the measured value.
+        higher_is_better: direction of improvement, so experiments can
+            normalize uniformly ("normalized performance" in the paper's
+            figures is always higher-is-better).
+    """
+
+    metric: str
+    value: float
+    higher_is_better: bool
+
+    def normalized_against(self, baseline: "PerformanceReport") -> float:
+        """Performance relative to a baseline run, as higher-is-better.
+
+        For higher-is-better metrics this is ``value / baseline``; for
+        lower-is-better (latencies) it is ``baseline / value``, matching
+        how the paper's "normalized performance" axes are built.
+        """
+        if self.metric != baseline.metric:
+            raise ValueError(
+                f"cannot normalize {self.metric!r} against {baseline.metric!r}"
+            )
+        if baseline.value <= 0 or self.value <= 0:
+            raise ValueError("normalization requires positive values")
+        if self.higher_is_better:
+            return self.value / baseline.value
+        return baseline.value / self.value
+
+
+class Workload(abc.ABC):
+    """Base class for simulated customer applications."""
+
+    name: str = "workload"
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._process: Optional[Process] = None
+
+    def start(self) -> "Workload":
+        """Spawn the workload's driver process; returns self."""
+        if self._process is not None:
+            raise RuntimeError(f"workload {self.name!r} already started")
+        self._process = self.kernel.spawn(self._run(), name=self.name)
+        return self
+
+    @abc.abstractmethod
+    def _run(self):
+        """The workload's driver generator (a simulated process)."""
+
+    @abc.abstractmethod
+    def performance(self) -> PerformanceReport:
+        """The workload's self-measured performance so far."""
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of a sample list (q in [0, 100])."""
+    if not samples:
+        raise ValueError("no samples collected")
+    return float(np.percentile(np.asarray(samples), q))

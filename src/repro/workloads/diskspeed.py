@@ -1,0 +1,89 @@
+"""The paper's DiskSpeed workload (§6.2).
+
+"DiskSpeed is a disk-bound workload that does not benefit from
+overclocking.  Performance is reported as throughput in requests/sec."
+
+The CPU profile has low boundness (cores mostly stall waiting on IO) and
+near-zero frequency scaling, so overclocking it only wastes power — this
+is the workload where the paper's broken-model experiment produces a
+268% power increase without the model safeguard (Figure 3), and whose
+low α keeps the actuator safeguard engaged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.node.cpu import CpuModel
+from repro.sim.units import MS
+from repro.workloads.base import PerformanceReport, Workload
+
+__all__ = ["DiskSpeedWorkload"]
+
+
+class DiskSpeedWorkload(Workload):
+    """IO-bound request server measured in requests/second.
+
+    Args:
+        kernel: simulation kernel.
+        cpu: the VM's CPU substrate.
+        rng: random stream for throughput jitter.
+        base_throughput_rps: throughput at the nominal frequency.
+        utilization: cores appear busy (spinning on IO completion) even
+            though little useful work retires.
+        boundness: low — most unhalted cycles are stalled, which keeps
+            the α factor small.
+        freq_scaling: near zero — faster clocks don't make disks faster.
+    """
+
+    name = "diskspeed"
+
+    def __init__(
+        self,
+        kernel,
+        cpu: CpuModel,
+        rng: np.random.Generator,
+        base_throughput_rps: float = 5000.0,
+        utilization: float = 0.6,
+        boundness: float = 0.25,
+        freq_scaling: float = 0.05,
+        sample_interval_us: int = 200 * MS,
+    ) -> None:
+        super().__init__(kernel)
+        self.cpu = cpu
+        self.rng = rng
+        self.base_throughput_rps = base_throughput_rps
+        self.utilization = utilization
+        self.boundness = boundness
+        self.freq_scaling = freq_scaling
+        self.sample_interval_us = sample_interval_us
+        self.throughput_samples: List[float] = []
+
+    def _run(self):
+        while True:
+            utilization = float(
+                np.clip(self.rng.normal(self.utilization, 0.03), 0.3, 0.9)
+            )
+            self.cpu.set_phase(
+                utilization=utilization,
+                boundness=self.boundness,
+                freq_scaling=self.freq_scaling,
+            )
+            ratio = self.cpu.frequency_ghz / self.cpu.nominal_freq_ghz
+            jitter = float(self.rng.normal(1.0, 0.02))
+            self.throughput_samples.append(
+                self.base_throughput_rps * ratio**self.freq_scaling * jitter
+            )
+            yield self.sample_interval_us
+
+    def performance(self) -> PerformanceReport:
+        """Mean throughput in requests/second (higher is better)."""
+        if not self.throughput_samples:
+            raise ValueError("no samples collected")
+        return PerformanceReport(
+            metric="throughput (req/s)",
+            value=float(np.mean(self.throughput_samples)),
+            higher_is_better=True,
+        )

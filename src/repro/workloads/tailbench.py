@@ -1,0 +1,194 @@
+"""TailBench-style latency-critical workloads (§6.3).
+
+"We use either of two latency-sensitive workloads from TailBench as the
+primary VM: image-dnn which performs image recognition and moses which
+does language translation.  We measure performance of both workloads as
+their P99 latency."
+
+The model: the primary VM's CPU demand is a bursty mean-reverting
+process updated every 25 ms (SmartHarvest's control period).  When the
+hypervisor cannot supply the demanded cores (because the agent harvested
+too many), requests queue and the latency samples for that window
+inflate proportionally to the *deficit ratio*.  P99 over the run is the
+reported metric — bursts that the agent fails to cover are exactly what
+shows up there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.node.hypervisor import Hypervisor
+from repro.sim.units import MS
+from repro.workloads.base import PerformanceReport, Workload, percentile
+
+__all__ = ["DemandProfile", "IMAGE_DNN", "MOSES", "TailBenchWorkload"]
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """Statistical shape of a TailBench workload's core demand.
+
+    Attributes:
+        name: workload name ("image-dnn", "moses").
+        base_low / base_high: range the baseline demand wanders in.
+        wander: per-step Gaussian step of the baseline demand.
+        burst_cores: demand level during a burst.
+        burst_probability: chance per step of entering a burst.
+        burst_steps_min / burst_steps_max: burst length range (steps).
+        base_latency_ms: P50 request latency when never starved.
+        starvation_penalty: latency multiplier per unit of queued
+            backlog (in steps of current demand).
+    """
+
+    name: str
+    base_low: float
+    base_high: float
+    wander: float
+    burst_cores: float
+    burst_probability: float
+    burst_steps_min: int
+    burst_steps_max: int
+    base_latency_ms: float
+    starvation_penalty: float = 8.0
+
+
+#: Image recognition: heavier and burstier of the two (paper §6.3).
+IMAGE_DNN = DemandProfile(
+    name="image-dnn",
+    base_low=2.0,
+    base_high=5.0,
+    wander=0.35,
+    burst_cores=7.5,
+    burst_probability=0.015,
+    burst_steps_min=3,
+    burst_steps_max=10,
+    base_latency_ms=26.0,
+    starvation_penalty=0.7,
+)
+
+#: Language translation: moderate load, shorter bursts.
+MOSES = DemandProfile(
+    name="moses",
+    base_low=1.0,
+    base_high=3.5,
+    wander=0.25,
+    burst_cores=6.0,
+    burst_probability=0.01,
+    burst_steps_min=2,
+    burst_steps_max=6,
+    base_latency_ms=14.0,
+    starvation_penalty=0.7,
+)
+
+
+class TailBenchWorkload(Workload):
+    """A latency-critical primary VM driving hypervisor demand.
+
+    Args:
+        kernel: simulation kernel.
+        hypervisor: scheduling substrate the demand is presented to.
+        rng: random stream for demand evolution and latency jitter.
+        profile: demand shape (:data:`IMAGE_DNN` or :data:`MOSES`).
+        step_us: demand update period (25 ms, SmartHarvest's epoch).
+    """
+
+    def __init__(
+        self,
+        kernel,
+        hypervisor: Hypervisor,
+        rng: np.random.Generator,
+        profile: DemandProfile = IMAGE_DNN,
+        step_us: int = 25 * MS,
+    ) -> None:
+        super().__init__(kernel)
+        self.name = profile.name
+        self.hypervisor = hypervisor
+        self.rng = rng
+        self.profile = profile
+        self.step_us = step_us
+        self.latency_samples_ms: List[float] = []
+        self._demand = (profile.base_low + profile.base_high) / 2.0
+        self._burst_steps_left = 0
+        self._ramp = 0.0
+
+    def _next_demand(self) -> float:
+        """One 25 ms step of the demand process.
+
+        Bursts *ramp* over a couple of steps rather than jumping — real
+        request surges build through queues, and the ramp is the signal
+        (trend/last features) that makes short-horizon prediction
+        possible at all (§3.1: "many workload dynamics are only
+        predictable a short window into the future").
+        """
+        profile = self.profile
+        if self._burst_steps_left > 0:
+            self._burst_steps_left -= 1
+            self._ramp = min(1.0, self._ramp + 0.5)
+            level = (
+                self._demand
+                + (profile.burst_cores - self._demand) * self._ramp
+            )
+            return float(
+                np.clip(
+                    level + self.rng.normal(0.0, 0.2),
+                    0.0,
+                    self.hypervisor.n_cores,
+                )
+            )
+        self._ramp = 0.0
+        if self.rng.random() < profile.burst_probability:
+            self._burst_steps_left = int(
+                self.rng.integers(
+                    profile.burst_steps_min, profile.burst_steps_max + 1
+                )
+            )
+            return self._next_demand()
+        self._demand = float(
+            np.clip(
+                self._demand + self.rng.normal(0.0, profile.wander),
+                profile.base_low,
+                profile.base_high,
+            )
+        )
+        return self._demand
+
+    def _run(self):
+        """Demand driving plus per-step latency accounting.
+
+        The harvested cores run an ElasticVM at minimum priority: when
+        the primary needs a core back, the hypervisor preempts within
+        the control period, so each misprediction costs *bounded*
+        scheduling delay — the deficit ratio of that step, capped at 1 —
+        rather than unbounded queueing.  This is why even the paper's
+        fully unguarded failures inflate P99 by ~40%, not by orders of
+        magnitude (Figure 6).
+        """
+        previous = self.hypervisor.snapshot()
+        while True:
+            self.hypervisor.set_demand(self._next_demand())
+            yield self.step_us
+            current = self.hypervisor.snapshot()
+            demand_cus = current.demand_cus - previous.demand_cus
+            deficit_cus = current.deficit_cus - previous.deficit_cus
+            previous = current
+            deficit_ratio = (
+                min(1.0, deficit_cus / demand_cus) if demand_cus > 0 else 0.0
+            )
+            jitter = float(self.rng.lognormal(mean=0.0, sigma=0.06))
+            self.latency_samples_ms.append(
+                self.profile.base_latency_ms
+                * jitter
+                * (1.0 + self.profile.starvation_penalty * deficit_ratio)
+            )
+
+    def performance(self) -> PerformanceReport:
+        """P99 request latency in milliseconds (lower is better)."""
+        return PerformanceReport(
+            metric="p99 latency (ms)",
+            value=percentile(self.latency_samples_ms, 99),
+            higher_is_better=False,
+        )

@@ -1,0 +1,235 @@
+"""Memory access traces for SmartMemory (§5.3, §6.4).
+
+Real-world cloud workloads exhibit "highly-skewed popularity of pages";
+these trace generators drive :class:`~repro.node.memory.TieredMemory`
+region access rates with Zipf-distributed popularity that shifts over
+time.  Three named profiles correspond to the Figure 7 workloads
+(ObjectStore, SQL, SpecJBB), and :class:`OscillatingMemoryTrace`
+reproduces the intentionally hard Figure 8 workload: "it oscillates
+between running SpecJBB for 150 seconds and sleeping for 80 seconds,
+resulting in frequent and rapid shifts in memory access patterns."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.node.memory import TieredMemory
+from repro.sim.units import SEC
+from repro.workloads.base import PerformanceReport, Workload
+
+__all__ = [
+    "TraceProfile",
+    "OBJECTSTORE_MEM",
+    "SQL_MEM",
+    "SPECJBB_MEM",
+    "ZipfMemoryTrace",
+    "OscillatingMemoryTrace",
+]
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Statistical shape of a workload's memory access pattern.
+
+    Attributes:
+        name: workload name.
+        total_rate: aggregate accesses/second across all regions.
+        zipf_s: Zipf skew exponent (higher = more concentrated; this
+            directly controls how small the hot set is, and therefore the
+            Figure 7 local-memory reduction).
+        active_fraction: fraction of regions with nonzero rate; the rest
+            are cold (the §5.3 ">3 minutes untouched" class).
+        shift_interval_us: how often part of the popularity ranking
+            rotates (phase drift).
+        shift_fraction: fraction of the active ranking rotated per shift.
+    """
+
+    name: str
+    total_rate: float
+    zipf_s: float
+    active_fraction: float
+    shift_interval_us: int
+    shift_fraction: float
+
+
+#: Key-value store: strongly skewed, slowly drifting working set.
+OBJECTSTORE_MEM = TraceProfile(
+    name="objectstore",
+    total_rate=450_000.0,
+    zipf_s=1.2,
+    active_fraction=0.7,
+    shift_interval_us=120 * SEC,
+    shift_fraction=0.1,
+)
+
+#: OLTP on SQL Server: flatter distribution, moderate churn.
+SQL_MEM = TraceProfile(
+    name="sql",
+    total_rate=350_000.0,
+    zipf_s=0.9,
+    active_fraction=0.8,
+    shift_interval_us=90 * SEC,
+    shift_fraction=0.15,
+)
+
+#: SPECjbb: skewed with periodic working-set turnover.
+SPECJBB_MEM = TraceProfile(
+    name="specjbb",
+    total_rate=400_000.0,
+    zipf_s=1.05,
+    active_fraction=0.75,
+    shift_interval_us=60 * SEC,
+    shift_fraction=0.2,
+)
+
+
+def zipf_rates(
+    n_regions: int,
+    profile: TraceProfile,
+    permutation: np.ndarray,
+) -> np.ndarray:
+    """Per-region access rates for a popularity ranking.
+
+    ``permutation[rank]`` is the region index holding that rank; ranks
+    beyond the active fraction get rate zero (cold regions).
+    """
+    n_active = max(1, int(round(profile.active_fraction * n_regions)))
+    weights = 1.0 / np.arange(1, n_active + 1) ** profile.zipf_s
+    weights /= weights.sum()
+    rates = np.zeros(n_regions)
+    rates[permutation[:n_active]] = profile.total_rate * weights
+    return rates
+
+
+class ZipfMemoryTrace(Workload):
+    """Zipf-popular region accesses with periodic partial rank rotation.
+
+    Args:
+        kernel: simulation kernel.
+        memory: tiered-memory substrate to drive.
+        rng: random stream for the popularity permutation and shifts.
+        profile: trace shape.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        memory: TieredMemory,
+        rng: np.random.Generator,
+        profile: TraceProfile = OBJECTSTORE_MEM,
+    ) -> None:
+        super().__init__(kernel)
+        self.name = f"{profile.name}-trace"
+        self.memory = memory
+        self.rng = rng
+        self.profile = profile
+        self.permutation = rng.permutation(memory.n_regions)
+        self.shifts = 0
+
+    def apply_rates(self) -> None:
+        """Push the current popularity ranking into the substrate."""
+        self.memory.set_rates(
+            zipf_rates(self.memory.n_regions, self.profile, self.permutation)
+        )
+
+    def shift_popularity(self) -> None:
+        """Rotate part of the ranking: some hot regions cool, others heat."""
+        n_active = max(
+            1,
+            int(round(self.profile.active_fraction * self.memory.n_regions)),
+        )
+        n_shift = max(1, int(round(self.profile.shift_fraction * n_active)))
+        chosen = self.rng.choice(n_active, size=n_shift, replace=False)
+        self.permutation[chosen] = self.permutation[np.roll(chosen, 1)]
+        self.shifts += 1
+
+    def _run(self):
+        self.apply_rates()
+        while True:
+            yield self.profile.shift_interval_us
+            self.shift_popularity()
+            self.apply_rates()
+
+    def performance(self) -> PerformanceReport:
+        """Local-access fraction so far (higher is better).
+
+        The SLO-attainment metric the experiments report is windowed;
+        this is the run-wide aggregate for quick inspection.
+        """
+        snap = self.memory.snapshot()
+        total = snap.total_accesses
+        fraction = snap.local_accesses / total if total > 0 else 1.0
+        return PerformanceReport(
+            metric="local access fraction",
+            value=fraction,
+            higher_is_better=True,
+        )
+
+
+class OscillatingMemoryTrace(ZipfMemoryTrace):
+    """The Figure 8 stress workload: run 150 s, sleep 80 s, reshuffle.
+
+    During sleep the access rates drop to a trickle; every wake-up
+    reshuffles a large part of the popularity ranking, so the agent's
+    learned scan rates and tier placement are stale exactly when load
+    returns.
+
+    Args:
+        active_us / sleep_us: phase lengths (150 s / 80 s in the paper).
+        sleep_scale: fraction of the active rates that persists during
+            sleep (background refresh traffic).
+        wake_shift_fraction: fraction of the ranking rotated per wake.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        memory: TieredMemory,
+        rng: np.random.Generator,
+        profile: TraceProfile = SPECJBB_MEM,
+        active_us: int = 150 * SEC,
+        sleep_us: int = 80 * SEC,
+        sleep_scale: float = 0.02,
+        wake_shift_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(kernel, memory, rng, profile)
+        self.name = "oscillating-specjbb"
+        self.active_us = active_us
+        self.sleep_us = sleep_us
+        self.sleep_scale = sleep_scale
+        self.wake_shift_fraction = wake_shift_fraction
+        self.phase_log = []  # (time_us, "active" | "sleep")
+
+    def _run(self):
+        while True:
+            self.phase_log.append((self.kernel.now, "active"))
+            self.apply_rates()
+            yield self.active_us
+            self.phase_log.append((self.kernel.now, "sleep"))
+            self.memory.set_rates(
+                zipf_rates(
+                    self.memory.n_regions, self.profile, self.permutation
+                )
+                * self.sleep_scale
+            )
+            yield self.sleep_us
+            # Wake with a substantially different working set.
+            n_active = max(
+                1,
+                int(
+                    round(
+                        self.profile.active_fraction * self.memory.n_regions
+                    )
+                ),
+            )
+            n_shift = max(
+                1, int(round(self.wake_shift_fraction * n_active))
+            )
+            chosen = self.rng.choice(n_active, size=n_shift, replace=False)
+            self.permutation[chosen] = self.permutation[
+                self.rng.permutation(chosen)
+            ]
+            self.shifts += 1

@@ -1,0 +1,191 @@
+"""SmartMemory agent tests: classification, bandits, safeguards."""
+
+import numpy as np
+import pytest
+
+from repro.agents.memory import (
+    MemoryConfig,
+    MemoryPlan,
+    SmartMemoryAgent,
+    StaticScanController,
+    classify_by_coverage,
+    infer_access_rate,
+    observable_rate,
+)
+from repro.core import SafeguardPolicy
+from repro.node.memory import Tier, TieredMemory
+from repro.sim import Kernel, RngStreams
+from repro.sim.units import SEC
+from repro.workloads.traces import SPECJBB_MEM, ZipfMemoryTrace
+
+
+def setup(seed=0, n_regions=64, profile=SPECJBB_MEM):
+    kernel = Kernel()
+    streams = RngStreams(seed)
+    memory = TieredMemory(
+        kernel, n_regions=n_regions, pages_per_region=512,
+        rng=streams.get("mem"),
+    )
+    trace = ZipfMemoryTrace(kernel, memory, streams.get("trace"), profile)
+    trace.start()
+    return kernel, streams, memory, trace
+
+
+# -- classification math ------------------------------------------------------
+
+
+def test_classify_by_coverage_minimal_hot_set():
+    counts = np.array([100.0, 50.0, 30.0, 10.0, 5.0, 5.0])
+    hot, warm = classify_by_coverage(
+        counts, np.arange(6), coverage=0.8
+    )
+    # 100+50+30 = 180 of 200 -> 90% >= 80%; 100+50 = 75% not enough
+    assert set(hot.tolist()) == {0, 1, 2}
+    assert set(warm.tolist()) == {3, 4, 5}
+
+
+def test_classify_all_zero_counts_keeps_everything_hot():
+    hot, warm = classify_by_coverage(
+        np.zeros(4), np.arange(4), coverage=0.8
+    )
+    assert hot.size == 4
+    assert warm.size == 0
+
+
+def test_classify_respects_candidate_subset():
+    counts = np.array([100.0, 90.0, 1.0, 1.0])
+    hot, warm = classify_by_coverage(
+        counts, np.array([2, 3]), coverage=0.5
+    )
+    assert set(hot.tolist()) <= {2, 3}
+
+
+def test_occupancy_inversion_round_trips():
+    for rate in [50.0, 500.0, 5000.0]:
+        for period in [300_000, 2_400_000]:
+            observed = observable_rate(rate, period, 512)
+            bits_per_scan = observed * period / 1e6
+            recovered = infer_access_rate(bits_per_scan, period, 512)
+            if bits_per_scan < 0.98 * 512:
+                assert recovered == pytest.approx(rate, rel=1e-6)
+
+
+def test_inversion_saturates_to_lower_bound():
+    recovered = infer_access_rate(512.0, 9_600_000, 512)
+    assert recovered < 50_000  # clamped: true rate could be anything higher
+
+
+def test_memory_plan_rejects_overlaps():
+    with pytest.raises(ValueError):
+        MemoryPlan(hot=np.array([1, 2]), warm=np.array([2, 3]))
+
+
+# -- agent behavior ----------------------------------------------------------------
+
+
+def test_agent_offloads_cold_tail_and_meets_slo():
+    kernel, streams, memory, _trace = setup()
+    SmartMemoryAgent(kernel, memory, streams.get("agent")).start()
+    kernel.run(until=300 * SEC)
+    snap = memory.snapshot()
+    assert memory.n_local < memory.n_regions  # something was offloaded
+    assert snap.remote_fraction() < 0.30
+
+
+def test_agent_scans_less_than_max_frequency_baseline():
+    kernel, streams, memory, _trace = setup(seed=1)
+    SmartMemoryAgent(kernel, memory, streams.get("agent")).start()
+    kernel.run(until=300 * SEC)
+    smart_resets = memory.snapshot().bit_resets
+
+    kernel2, streams2, memory2, _trace2 = setup(seed=1)
+    StaticScanController(
+        kernel2, memory2, MemoryConfig().scan_periods_us[0]
+    ).start()
+    kernel2.run(until=300 * SEC)
+    max_resets = memory2.snapshot().bit_resets
+    assert smart_resets < max_resets
+
+
+def test_bandits_move_cold_regions_to_slow_arms():
+    kernel, streams, memory, _trace = setup(seed=2)
+    agent = SmartMemoryAgent(kernel, memory, streams.get("agent")).start()
+    kernel.run(until=400 * SEC)
+    periods = agent.model.chosen_periods_us()
+    rates = memory.rates
+    active = rates > 0
+    quiet = ~active & ~np.isin(
+        np.arange(memory.n_regions), agent.model.cold_regions
+    )
+    hot_idx = np.argsort(rates)[-5:]
+    # hottest regions scan much faster than the overall mix
+    assert periods[hot_idx].mean() < np.asarray(periods).mean()
+
+
+def test_cold_regions_detected_and_excluded():
+    kernel, streams, memory, _trace = setup(seed=3)
+    agent = SmartMemoryAgent(kernel, memory, streams.get("agent")).start()
+    kernel.run(until=400 * SEC)  # > 3 min cold timeout
+    cold = agent.model.cold_regions
+    rates = memory.rates
+    assert cold.size > 0
+    assert np.all(rates[cold] == 0.0)
+
+
+def test_scan_errors_fail_validation_sample():
+    kernel, streams, memory, _trace = setup(seed=4)
+    memory.set_scan_fault_probability(1.0)
+    agent = SmartMemoryAgent(kernel, memory, streams.get("agent")).start()
+    kernel.run(until=50 * SEC)
+    stats = agent.runtime.stats()
+    assert stats["validation_failures"] > 0
+
+
+def test_actuator_safeguard_migrates_hot_regions_back():
+    kernel, streams, memory, _trace = setup(seed=5)
+    agent = SmartMemoryAgent(kernel, memory, streams.get("agent")).start()
+    kernel.run(until=80 * SEC)  # past the first plan application
+    # adversarially push the hottest regions remote
+    hottest = np.argsort(memory.rates)[-10:]
+    memory.migrate_many(hottest.tolist(), Tier.REMOTE)
+    kernel.run(until=120 * SEC)
+    stats = agent.runtime.stats()
+    assert stats["actuator_safeguard_triggers"] >= 1
+    assert stats["mitigations"] >= 1
+    # the hottest regions are back in tier 1
+    back_local = sum(memory.tier_of(int(r)) is Tier.LOCAL for r in hottest)
+    assert back_local >= 8
+
+
+def test_default_plan_is_conservative():
+    kernel, streams, memory, _trace = setup(seed=6)
+    agent = SmartMemoryAgent(kernel, memory, streams.get("agent")).start()
+    kernel.run(until=80 * SEC)
+    default = agent.model.default_predict()
+    plan = default.value
+    candidates = plan.hot.size + plan.warm.size
+    # only the coldest ~5% of candidate batches are offload candidates
+    assert plan.warm.size <= max(1, int(0.06 * candidates))
+    assert default.is_default
+
+
+def test_terminate_restores_all_regions_local():
+    kernel, streams, memory, _trace = setup(seed=7)
+    agent = SmartMemoryAgent(kernel, memory, streams.get("agent")).start()
+    kernel.run(until=200 * SEC)
+    agent.terminate()
+    assert memory.n_local == memory.n_regions
+    assert not agent.runtime.running
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MemoryConfig(scan_periods_us=(300_000,))
+    with pytest.raises(ValueError):
+        MemoryConfig(scan_periods_us=(300_000, 300_000))
+    with pytest.raises(ValueError):
+        MemoryConfig(hot_coverage=0.0)
+    with pytest.raises(ValueError):
+        MemoryConfig(truth_fraction=1.0)
+    config = MemoryConfig()
+    assert config.epoch_us == 4 * config.scan_periods_us[-1]

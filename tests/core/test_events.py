@@ -1,0 +1,43 @@
+"""Tests for the runtime event log."""
+
+from repro.core.events import EventKind, EventLog
+from repro.sim import Kernel
+from repro.sim.units import SEC
+
+
+def test_record_stamps_current_time():
+    kernel = Kernel()
+    log = EventLog(kernel, agent="a")
+    kernel.run(until=2 * SEC)
+    event = log.record(EventKind.ACTUATION, has_prediction=True)
+    assert event.time_us == 2 * SEC
+    assert event.agent == "a"
+    assert event.details == {"has_prediction": True}
+
+
+def test_queries():
+    kernel = Kernel()
+    log = EventLog(kernel, agent="a")
+    log.record(EventKind.ACTUATION, n=1)
+    log.record(EventKind.MITIGATION)
+    log.record(EventKind.ACTUATION, n=2)
+    assert log.count(EventKind.ACTUATION) == 2
+    assert [e.details["n"] for e in log.of_kind(EventKind.ACTUATION)] == [1, 2]
+    assert log.last(EventKind.ACTUATION).details["n"] == 2
+    assert log.last(EventKind.CLEANUP) is None
+    assert len(log) == 3
+
+
+def test_summary_counts_by_kind():
+    log = EventLog(Kernel(), agent="a")
+    log.record(EventKind.ACTUATION)
+    log.record(EventKind.ACTUATION)
+    log.record(EventKind.CLEANUP)
+    assert log.summary() == {"actuation": 2, "cleanup": 1}
+
+
+def test_str_rendering_mentions_kind():
+    log = EventLog(Kernel(), agent="agent-x")
+    event = log.record(EventKind.SAFEGUARD_TRIGGERED, safeguard="model")
+    assert "safeguard_triggered" in str(event)
+    assert "agent-x" in str(event)

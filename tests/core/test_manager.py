@@ -1,0 +1,112 @@
+"""Tests for the SRE-facing agent manager."""
+
+import pytest
+
+from repro.core import Schedule, run_agent
+from repro.core.manager import AgentManager
+from repro.sim import Kernel
+from repro.sim.units import MS, SEC
+
+from tests.core.helpers import RecordingActuator, ScriptedModel
+
+
+def make_agent(kernel, name, performance=None):
+    schedule = Schedule(
+        data_collect_interval_us=100 * MS,
+        min_data_per_epoch=5,
+        max_epoch_time_us=1 * SEC,
+        max_actuation_delay_us=2 * SEC,
+        assess_actuator_interval_us=1 * SEC,
+    )
+    actuator = RecordingActuator(kernel, performance=performance)
+    runtime = run_agent(
+        kernel, ScriptedModel(kernel), actuator, schedule, name=name
+    )
+    return runtime, actuator
+
+
+def test_register_and_report():
+    kernel = Kernel()
+    manager = AgentManager(kernel)
+    runtime_a, _ = make_agent(kernel, "overclock")
+    runtime_b, _ = make_agent(kernel, "harvest")
+    manager.register(runtime_a)
+    manager.register(runtime_b)
+    kernel.run(until=5 * SEC)
+    report = manager.health_report()
+    assert [h.name for h in report] == ["harvest", "overclock"]
+    assert all(h.running and h.healthy for h in report)
+    assert all(h.epochs > 0 for h in report)
+
+
+def test_duplicate_names_rejected():
+    kernel = Kernel()
+    manager = AgentManager(kernel)
+    runtime, _ = make_agent(kernel, "dup")
+    manager.register(runtime)
+    with pytest.raises(ValueError):
+        manager.register(runtime)
+
+
+def test_unhealthy_agent_visible_in_report():
+    kernel = Kernel()
+    manager = AgentManager(kernel)
+    runtime, _ = make_agent(kernel, "bad", performance=lambda: False)
+    manager.register(runtime)
+    kernel.run(until=5 * SEC)
+    health = manager.health("bad")
+    assert health.actuator_safeguard_active
+    assert not health.healthy
+    assert health.mitigations > 0
+
+
+def test_terminate_one_agent_leaves_others_running():
+    kernel = Kernel()
+    manager = AgentManager(kernel)
+    runtime_a, actuator_a = make_agent(kernel, "a")
+    runtime_b, actuator_b = make_agent(kernel, "b")
+    manager.register(runtime_a)
+    manager.register(runtime_b)
+    kernel.run(until=3 * SEC)
+    manager.terminate("a")
+    assert actuator_a.cleanups == 1
+    assert not runtime_a.running
+    assert runtime_b.running
+    kernel.run(until=6 * SEC)
+    assert runtime_b.stats()["epochs"] > 3
+
+
+def test_terminate_all_is_isolated_per_agent():
+    kernel = Kernel()
+    manager = AgentManager(kernel)
+    runtime_good, actuator_good = make_agent(kernel, "good")
+
+    runtime_bad, actuator_bad = make_agent(kernel, "bad")
+    original_cleanup = actuator_bad.clean_up
+
+    def exploding_cleanup():
+        original_cleanup()
+        raise RuntimeError("cleanup bug")
+
+    actuator_bad.clean_up = exploding_cleanup
+    manager.register(runtime_bad)
+    manager.register(runtime_good)
+    kernel.run(until=2 * SEC)
+    terminated = manager.terminate_all()
+    # the bad agent's cleanup raised, but the sweep finished
+    assert terminated == 1
+    assert actuator_good.cleanups == 1
+    assert not runtime_good.running
+
+
+def test_render_report_lists_agents_and_state():
+    kernel = Kernel()
+    manager = AgentManager(kernel)
+    runtime, _ = make_agent(kernel, "smart-overclock")
+    manager.register(runtime)
+    kernel.run(until=2 * SEC)
+    text = manager.render_report()
+    assert "smart-overclock" in text
+    assert "running" in text
+    manager.terminate("smart-overclock")
+    assert "stopped" in manager.render_report()

@@ -1,0 +1,44 @@
+"""Tests for Prediction expiry semantics."""
+
+import pytest
+
+from repro.core.prediction import Prediction
+from repro.sim import Kernel
+from repro.sim.units import SEC
+
+
+def test_fresh_prediction_carries_current_time():
+    kernel = Kernel()
+    kernel.run(until=3 * SEC)
+    pred = Prediction.fresh(kernel, value=1.0, ttl_us=2 * SEC)
+    assert pred.produced_at_us == 3 * SEC
+    assert pred.expires_at_us == 5 * SEC
+    assert pred.ttl_us == 2 * SEC
+
+
+def test_expiry_boundary_is_inclusive():
+    kernel = Kernel()
+    pred = Prediction.fresh(kernel, value=1.0, ttl_us=1 * SEC)
+    assert not pred.is_expired(1 * SEC)  # exactly at expiry: still valid
+    assert pred.is_expired(1 * SEC + 1)
+
+
+def test_default_flag_propagates():
+    kernel = Kernel()
+    pred = Prediction.fresh(kernel, value=0.0, ttl_us=1, is_default=True)
+    assert pred.is_default
+
+
+def test_invalid_expiry_rejected():
+    with pytest.raises(ValueError):
+        Prediction(value=1, produced_at_us=10, expires_at_us=5)
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        Prediction.fresh(kernel, value=1, ttl_us=-1)
+
+
+def test_zero_ttl_prediction_expires_immediately_after_now():
+    kernel = Kernel()
+    pred = Prediction.fresh(kernel, value=1, ttl_us=0)
+    assert not pred.is_expired(kernel.now)
+    assert pred.is_expired(kernel.now + 1)

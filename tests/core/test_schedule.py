@@ -1,0 +1,36 @@
+"""Tests for Schedule validation."""
+
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.sim.units import MS, SEC
+
+
+def test_defaults_are_valid():
+    schedule = Schedule()
+    assert schedule.data_collect_interval_us == 100 * MS
+
+
+def test_positive_fields_enforced():
+    with pytest.raises(ValueError):
+        Schedule(data_collect_interval_us=0)
+    with pytest.raises(ValueError):
+        Schedule(max_actuation_delay_us=-1)
+    with pytest.raises(ValueError):
+        Schedule(min_data_per_epoch=0)
+
+
+def test_min_cannot_exceed_max_data():
+    with pytest.raises(ValueError):
+        Schedule(min_data_per_epoch=10, max_data_per_epoch=5)
+
+
+def test_collect_interval_must_fit_in_epoch():
+    with pytest.raises(ValueError):
+        Schedule(data_collect_interval_us=2 * SEC, max_epoch_time_us=1 * SEC)
+
+
+def test_frozen():
+    schedule = Schedule()
+    with pytest.raises(AttributeError):
+        schedule.min_data_per_epoch = 5  # type: ignore[misc]

@@ -1,0 +1,67 @@
+"""Tests for Beta-Bernoulli Thompson sampling."""
+
+import numpy as np
+import pytest
+
+from repro.ml.bandits import BetaThompsonSampler
+from repro.sim import RngStreams
+
+
+def test_converges_to_best_arm():
+    rng = RngStreams(0)
+    sampler = BetaThompsonSampler(n_arms=4, rng=rng.get("ts"))
+    env = rng.get("env")
+    true_p = [0.1, 0.3, 0.9, 0.5]
+    for _ in range(800):
+        arm = sampler.select_arm()
+        sampler.update(arm, env.random() < true_p[arm])
+    # Most pulls should have gone to the best arm by the end.
+    assert int(np.argmax(sampler.pulls)) == 2
+    assert sampler.pulls[2] > 0.6 * sampler.pulls.sum()
+
+
+def test_posterior_mean_tracks_observations():
+    sampler = BetaThompsonSampler(n_arms=2, rng=RngStreams(1).get("ts"))
+    for _ in range(40):
+        sampler.update(0, True)
+        sampler.update(1, False)
+    means = sampler.mean_estimates()
+    assert means[0] > 0.9
+    assert means[1] < 0.1
+
+
+def test_weighted_update_is_partial_evidence():
+    sampler = BetaThompsonSampler(n_arms=2, rng=RngStreams(2).get("ts"))
+    sampler.update_weighted(0, 0.75)
+    assert sampler.alpha[0] == pytest.approx(1.75)
+    assert sampler.beta[0] == pytest.approx(1.25)
+    with pytest.raises(ValueError):
+        sampler.update_weighted(0, 1.5)
+
+
+def test_selection_is_reproducible_given_seed():
+    def run(seed):
+        sampler = BetaThompsonSampler(n_arms=3, rng=RngStreams(seed).get("t"))
+        picks = []
+        for i in range(50):
+            arm = sampler.select_arm()
+            picks.append(arm)
+            sampler.update(arm, i % 2 == 0)
+        return picks
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_arm_bounds_checked():
+    sampler = BetaThompsonSampler(n_arms=2, rng=RngStreams(0).get("t"))
+    with pytest.raises(ValueError):
+        sampler.update(2, True)
+
+
+def test_constructor_validation():
+    rng = RngStreams(0).get("t")
+    with pytest.raises(ValueError):
+        BetaThompsonSampler(n_arms=1, rng=rng)
+    with pytest.raises(ValueError):
+        BetaThompsonSampler(n_arms=2, rng=rng, prior_alpha=0.0)

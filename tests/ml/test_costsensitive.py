@@ -1,0 +1,79 @@
+"""Tests for the cost-sensitive one-against-all classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.costsensitive import CostSensitiveClassifier, asymmetric_core_costs
+
+
+def test_cost_vector_shape_and_zero_at_truth():
+    costs = asymmetric_core_costs(true_class=3, n_classes=6)
+    assert costs.shape == (6,)
+    assert costs[3] == 0.0
+
+
+def test_underprediction_costs_more_than_overprediction():
+    costs = asymmetric_core_costs(
+        true_class=3, n_classes=7, under_cost=4.0, over_cost=1.0
+    )
+    assert costs[1] == pytest.approx(8.0)   # 2 cores short
+    assert costs[5] == pytest.approx(2.0)   # 2 cores extra
+    assert costs[1] > costs[5]
+
+
+def test_true_class_validated():
+    with pytest.raises(ValueError):
+        asymmetric_core_costs(true_class=9, n_classes=4)
+
+
+def test_learns_constant_demand():
+    rng = np.random.default_rng(1)
+    model = CostSensitiveClassifier(n_classes=5, n_features=2,
+                                    learning_rate=0.1)
+    for _ in range(500):
+        features = rng.uniform(0, 1, 2)
+        model.update(features, asymmetric_core_costs(2, 5))
+    assert model.predict(rng.uniform(0, 1, 2)) == 2
+
+
+def test_learns_feature_dependent_demand():
+    """Class should track a demand level encoded in the features."""
+    rng = np.random.default_rng(2)
+    model = CostSensitiveClassifier(n_classes=4, n_features=4,
+                                    learning_rate=0.1)
+
+    def one_hot(demand):
+        features = np.zeros(4)
+        features[demand] = 1.0
+        return features
+
+    for _ in range(4000):
+        demand = int(rng.integers(0, 4))
+        model.update(one_hot(demand), asymmetric_core_costs(demand, 4))
+    for demand in range(4):
+        assert model.predict(one_hot(demand)) == demand
+
+
+def test_asymmetric_costs_bias_toward_overprediction():
+    """With noisy labels, the argmin-cost class errs on the high side."""
+    rng = np.random.default_rng(3)
+    model = CostSensitiveClassifier(n_classes=8, n_features=1,
+                                    learning_rate=0.05)
+    # True demand fluctuates 2..4 uniformly; under-cost is much steeper.
+    for _ in range(5000):
+        demand = int(rng.integers(2, 5))
+        model.update([1.0], asymmetric_core_costs(
+            demand, 8, under_cost=10.0, over_cost=1.0))
+    prediction = model.predict([1.0])
+    assert prediction >= 4  # covers the worst case, not the average
+
+
+def test_cost_vector_shape_validated():
+    model = CostSensitiveClassifier(n_classes=3, n_features=1)
+    with pytest.raises(ValueError):
+        model.update([0.0], [1.0, 2.0])
+
+
+def test_needs_two_classes():
+    with pytest.raises(ValueError):
+        CostSensitiveClassifier(n_classes=1, n_features=1)

@@ -1,0 +1,64 @@
+"""Tests for online linear regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import OnlineLinearRegression
+
+
+def test_learns_simple_linear_function():
+    rng = np.random.default_rng(0)
+    model = OnlineLinearRegression(n_features=2, learning_rate=0.05)
+    for _ in range(3000):
+        x = rng.uniform(-1, 1, size=2)
+        y = 3.0 * x[0] - 2.0 * x[1] + 0.5
+        model.update(x, y)
+    assert model.weights == pytest.approx([3.0, -2.0], abs=0.05)
+    assert model.bias == pytest.approx(0.5, abs=0.05)
+
+
+def test_update_returns_pre_update_error():
+    model = OnlineLinearRegression(n_features=1, learning_rate=0.1)
+    error = model.update([1.0], 2.0)
+    assert error == pytest.approx(-2.0)  # prediction 0 minus target 2
+
+
+def test_gradient_clipping_bounds_single_step_damage():
+    clipped = OnlineLinearRegression(
+        n_features=1, learning_rate=0.1, clip_gradient=1.0
+    )
+    unclipped = OnlineLinearRegression(
+        n_features=1, learning_rate=0.1, clip_gradient=None
+    )
+    # One absurd out-of-range target (the §3.2 bad-data failure).
+    clipped.update([1.0], 1e9)
+    unclipped.update([1.0], 1e9)
+    assert abs(clipped.weights[0]) <= 0.1 + 1e-12
+    assert abs(unclipped.weights[0]) > 1e6
+
+
+def test_l2_shrinks_weights():
+    model = OnlineLinearRegression(n_features=1, learning_rate=0.1, l2=0.5)
+    for _ in range(200):
+        model.update([1.0], 1.0)
+    unregularized = OnlineLinearRegression(n_features=1, learning_rate=0.1)
+    for _ in range(200):
+        unregularized.update([1.0], 1.0)
+    assert abs(model.weights[0]) < abs(unregularized.weights[0])
+
+
+def test_feature_shape_validated():
+    model = OnlineLinearRegression(n_features=3)
+    with pytest.raises(ValueError):
+        model.predict([1.0, 2.0])
+    with pytest.raises(ValueError):
+        model.update([1.0], 0.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        OnlineLinearRegression(n_features=0)
+    with pytest.raises(ValueError):
+        OnlineLinearRegression(n_features=1, learning_rate=0.0)
+    with pytest.raises(ValueError):
+        OnlineLinearRegression(n_features=1, l2=-1.0)

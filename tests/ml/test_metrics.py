@@ -1,0 +1,77 @@
+"""Tests for streaming metric helpers."""
+
+import pytest
+
+from repro.ml.metrics import Ewma, RollingMean, RollingRate, StreamingMeanVar
+
+
+def test_rolling_mean_window_eviction():
+    rolling = RollingMean(window=3)
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        rolling.observe(value)
+    assert rolling.mean == pytest.approx(3.0)  # last three: 2,3,4
+    assert len(rolling) == 3
+
+
+def test_rolling_mean_min_count_gate():
+    rolling = RollingMean(window=10, min_count=3)
+    rolling.observe(1.0)
+    rolling.observe(2.0)
+    assert rolling.mean is None
+    rolling.observe(3.0)
+    assert rolling.mean == pytest.approx(2.0)
+
+
+def test_rolling_mean_reset():
+    rolling = RollingMean(window=5)
+    rolling.observe(10.0)
+    rolling.reset()
+    assert rolling.mean is None
+    assert len(rolling) == 0
+
+
+def test_rolling_rate():
+    rate = RollingRate(window=4)
+    for flag in [True, True, False, False]:
+        rate.observe(flag)
+    assert rate.rate == pytest.approx(0.5)
+
+
+def test_rolling_mean_validation():
+    with pytest.raises(ValueError):
+        RollingMean(window=0)
+    with pytest.raises(ValueError):
+        RollingMean(window=3, min_count=5)
+
+
+def test_streaming_meanvar_matches_closed_form():
+    stats = StreamingMeanVar()
+    values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    for value in values:
+        stats.observe(value)
+    assert stats.mean == pytest.approx(5.0)
+    assert stats.variance == pytest.approx(4.0)
+    assert stats.std == pytest.approx(2.0)
+
+
+def test_streaming_meanvar_single_value():
+    stats = StreamingMeanVar()
+    stats.observe(3.0)
+    assert stats.mean == 3.0
+    assert stats.variance == 0.0
+
+
+def test_ewma_first_value_initializes():
+    ewma = Ewma(alpha=0.5)
+    assert ewma.value is None
+    ewma.observe(10.0)
+    assert ewma.value == 10.0
+    ewma.observe(0.0)
+    assert ewma.value == pytest.approx(5.0)
+
+
+def test_ewma_alpha_validated():
+    with pytest.raises(ValueError):
+        Ewma(alpha=0.0)
+    with pytest.raises(ValueError):
+        Ewma(alpha=1.5)

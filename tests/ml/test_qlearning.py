@@ -1,0 +1,105 @@
+"""Tests for tabular Q-learning."""
+
+import numpy as np
+import pytest
+
+from repro.ml.qlearning import QLearner
+from repro.sim import RngStreams
+
+
+def make_learner(**kwargs):
+    defaults = dict(
+        n_actions=3,
+        rng=RngStreams(0).get("q"),
+        learning_rate=0.5,
+        discount=0.0,
+        epsilon=0.0,
+    )
+    defaults.update(kwargs)
+    return QLearner(**defaults)
+
+
+def test_update_moves_q_toward_reward():
+    learner = make_learner()
+    learner.update("s", 1, reward=10.0)
+    assert learner.q_values("s")[1] == pytest.approx(5.0)  # lr 0.5
+    learner.update("s", 1, reward=10.0)
+    assert learner.q_values("s")[1] == pytest.approx(7.5)
+
+
+def test_td_error_returned():
+    learner = make_learner()
+    assert learner.update("s", 0, reward=4.0) == pytest.approx(4.0)
+
+
+def test_greedy_picks_best_learned_action():
+    learner = make_learner()
+    for _ in range(50):
+        learner.update("s", 0, reward=1.0)
+        learner.update("s", 1, reward=5.0)
+        learner.update("s", 2, reward=-1.0)
+    action, explored = learner.select_action("s")
+    assert action == 1
+    assert explored is False
+
+
+def test_exploration_rate_close_to_epsilon():
+    learner = make_learner(epsilon=0.1)
+    for _ in range(20):
+        learner.update("s", 1, reward=1.0)
+    draws = 5000
+    explored = sum(learner.select_action("s")[1] for _ in range(draws))
+    assert explored / draws == pytest.approx(0.1, abs=0.02)
+
+
+def test_bootstrap_uses_next_state_max():
+    learner = make_learner(discount=0.9)
+    learner.update("next", 2, reward=10.0)       # Q(next, 2) = 5
+    learner.update("s", 0, reward=0.0, next_state="next")
+    assert learner.q_values("s")[0] == pytest.approx(0.5 * 0.9 * 5.0)
+
+
+def test_terminal_update_has_no_bootstrap():
+    learner = make_learner(discount=0.9)
+    learner.update("next", 2, reward=10.0)
+    learner.update("s", 0, reward=0.0, next_state=None)
+    assert learner.q_values("s")[0] == pytest.approx(0.0)
+
+
+def test_learns_contextual_policy():
+    """Different states should learn different best actions."""
+    rng = RngStreams(1).get("env")
+    learner = make_learner(epsilon=0.2, learning_rate=0.3,
+                           rng=RngStreams(1).get("agent"))
+    rewards = {"cpu-bound": [0.0, 1.0, 2.0], "idle": [2.0, 0.0, -2.0]}
+    for _ in range(1500):
+        state = "cpu-bound" if rng.random() < 0.5 else "idle"
+        action, _ = learner.select_action(state)
+        noise = rng.normal(0, 0.1)
+        learner.update(state, action, rewards[state][action] + noise)
+    policy = learner.greedy_policy()
+    assert policy["cpu-bound"] == 2
+    assert policy["idle"] == 0
+
+
+def test_optimistic_initialization():
+    learner = make_learner(initial_q=5.0)
+    assert np.all(learner.q_values("fresh") == 5.0)
+
+
+def test_action_bounds_checked():
+    learner = make_learner()
+    with pytest.raises(ValueError):
+        learner.update("s", 3, 0.0)
+
+
+def test_constructor_validation():
+    rng = RngStreams(0).get("q")
+    with pytest.raises(ValueError):
+        QLearner(n_actions=1, rng=rng)
+    with pytest.raises(ValueError):
+        QLearner(n_actions=2, rng=rng, epsilon=1.5)
+    with pytest.raises(ValueError):
+        QLearner(n_actions=2, rng=rng, learning_rate=0.0)
+    with pytest.raises(ValueError):
+        QLearner(n_actions=2, rng=rng, discount=1.0)

@@ -1,0 +1,89 @@
+"""Tests for the interval counter reader and its injection hook."""
+
+import numpy as np
+import pytest
+
+from repro.node.counters import CounterReader
+from repro.node.cpu import CpuModel
+from repro.node.faults import bad_ips_injector
+from repro.sim import Kernel, RngStreams
+from repro.sim.units import MS, SEC
+
+
+def setup_reader():
+    kernel = Kernel()
+    cpu = CpuModel(kernel, n_cores=4, nominal_freq_ghz=1.5, max_ipc=4.0)
+    return kernel, cpu, CounterReader(cpu)
+
+
+def test_read_reports_interval_ips():
+    kernel, cpu, reader = setup_reader()
+    cpu.set_phase(utilization=1.0, boundness=1.0)
+    kernel.run(until=1 * SEC)
+    metrics = reader.read()
+    assert metrics.ips == pytest.approx(4 * 4 * 1.5)
+    assert metrics.duration_us == 1 * SEC
+
+
+def test_read_empty_interval_returns_none():
+    _kernel, _cpu, reader = setup_reader()
+    assert reader.read() is None
+
+
+def test_consecutive_reads_cover_disjoint_intervals():
+    kernel, cpu, reader = setup_reader()
+    cpu.set_phase(utilization=1.0, boundness=1.0)
+    kernel.run(until=1 * SEC)
+    first = reader.read()
+    cpu.set_phase(utilization=0.0)
+    kernel.run(until=2 * SEC)
+    second = reader.read()
+    assert first.end_us == second.start_us
+    assert second.ips == pytest.approx(0.0)
+
+
+def test_alpha_reflects_boundness():
+    kernel, cpu, reader = setup_reader()
+    cpu.set_phase(utilization=1.0, boundness=0.25)
+    kernel.run(until=500 * MS)
+    metrics = reader.read()
+    assert metrics.alpha == pytest.approx(0.25)
+    assert metrics.utilization == pytest.approx(1.0)
+
+
+def test_mean_watts_positive_even_idle():
+    kernel, cpu, reader = setup_reader()
+    cpu.set_phase(utilization=0.0)
+    kernel.run(until=1 * SEC)
+    assert reader.read().mean_watts > 0
+
+
+def test_injector_corrupts_requested_fraction():
+    kernel, cpu, reader = setup_reader()
+    rng = RngStreams(0).get("inject")
+    reader.add_injector(bad_ips_injector(rng, probability=0.5, bad_value=1e9))
+    cpu.set_phase(utilization=1.0, boundness=1.0)
+    corrupted = 0
+    reads = 400
+    for i in range(1, reads + 1):
+        kernel.run(until=i * 100 * MS)
+        if reader.read().ips >= 1e9:
+            corrupted += 1
+    assert corrupted / reads == pytest.approx(0.5, abs=0.08)
+
+
+def test_clear_injectors_restores_clean_readings():
+    kernel, cpu, reader = setup_reader()
+    rng = RngStreams(0).get("inject")
+    reader.add_injector(bad_ips_injector(rng, probability=1.0))
+    cpu.set_phase(utilization=1.0, boundness=1.0)
+    kernel.run(until=1 * SEC)
+    assert reader.read().ips >= 1e9
+    reader.clear_injectors()
+    kernel.run(until=2 * SEC)
+    assert reader.read().ips == pytest.approx(24.0)
+
+
+def test_injector_probability_validated():
+    with pytest.raises(ValueError):
+        bad_ips_injector(np.random.default_rng(0), probability=1.5)

@@ -1,0 +1,181 @@
+"""Tests for the CPU model: counter accrual, DVFS, work execution."""
+
+import pytest
+
+from repro.node.cpu import CpuModel
+from repro.node.power import PowerModel
+from repro.sim import Kernel
+from repro.sim.units import MS, SEC
+
+
+def make_cpu(kernel, **kwargs):
+    defaults = dict(
+        n_cores=4, nominal_freq_ghz=1.5, min_freq_ghz=1.0, max_freq_ghz=2.6,
+        max_ipc=4.0,
+    )
+    defaults.update(kwargs)
+    return CpuModel(kernel, **defaults)
+
+
+def test_counters_accrue_for_busy_cpu_bound_phase():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    cpu.set_phase(utilization=1.0, boundness=1.0, freq_scaling=1.0)
+    kernel.run(until=2 * SEC)
+    snap = cpu.snapshot()
+    # total cycles = n_cores * f * t = 4 * 1.5 * 2 giga-cycles
+    assert snap.total_cycles == pytest.approx(12.0)
+    assert snap.unhalted_cycles == pytest.approx(12.0)
+    assert snap.stalled_cycles == pytest.approx(0.0)
+    # instructions = ipc * cycles
+    assert snap.instructions == pytest.approx(48.0)
+
+
+def test_idle_cpu_retires_nothing_but_burns_cycles():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    cpu.set_phase(utilization=0.0)
+    kernel.run(until=1 * SEC)
+    snap = cpu.snapshot()
+    assert snap.instructions == pytest.approx(0.0)
+    assert snap.unhalted_cycles == pytest.approx(0.0)
+    assert snap.total_cycles == pytest.approx(6.0)  # 4 cores * 1.5 GHz * 1 s
+    assert snap.energy_joules > 0.0  # idle power is not free
+
+
+def test_alpha_equals_utilization_times_boundness():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    cpu.set_phase(utilization=0.8, boundness=0.5)
+    assert cpu.alpha == pytest.approx(0.4)
+
+
+def test_ips_scales_linearly_when_cpu_bound():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    cpu.set_phase(utilization=1.0, boundness=1.0, freq_scaling=1.0)
+    base = cpu.ips_rate()
+    cpu.set_frequency(2.3)
+    assert cpu.ips_rate() / base == pytest.approx(2.3 / 1.5)
+
+
+def test_ips_flat_when_disk_bound():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    cpu.set_phase(utilization=0.9, boundness=0.2, freq_scaling=0.0)
+    base = cpu.ips_rate()
+    cpu.set_frequency(2.3)
+    assert cpu.ips_rate() == pytest.approx(base)
+
+
+def test_set_frequency_clamps_to_range():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    assert cpu.set_frequency(9.9) == pytest.approx(2.6)
+    assert cpu.set_frequency(0.1) == pytest.approx(1.0)
+
+
+def test_frequency_change_mid_interval_accrues_exactly():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    cpu.set_phase(utilization=1.0, boundness=1.0, freq_scaling=1.0)
+    kernel.run(until=1 * SEC)
+    cpu.set_frequency(2.3)
+    kernel.run(until=2 * SEC)
+    snap = cpu.snapshot()
+    # 1 s at 1.5 GHz + 1 s at 2.3 GHz, ipc=4, 4 cores
+    expected = 4 * 4 * 1.5 * 1.0 + 4 * 4 * 2.3 * 1.0
+    assert snap.instructions == pytest.approx(expected)
+
+
+def test_energy_integrates_power_model():
+    kernel = Kernel()
+    power = PowerModel(static_watts=10.0, dynamic_coeff=1.0, idle_activity=0.0)
+    cpu = make_cpu(kernel, power_model=power)
+    cpu.set_phase(utilization=1.0)
+    kernel.run(until=3 * SEC)
+    snap = cpu.snapshot()
+    expected_watts = 10.0 + 1.0 * 4 * 1.5**3
+    assert snap.energy_joules == pytest.approx(expected_watts * 3.0)
+
+
+def test_run_work_completes_at_expected_time():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    done = []
+
+    def workload():
+        cpu.set_phase(utilization=1.0, boundness=1.0, freq_scaling=1.0)
+        yield from cpu.run_work(24.0)  # giga-instructions
+        cpu.set_phase(utilization=0.0)
+        done.append(kernel.now)
+
+    kernel.spawn(workload(), name="wl")
+    kernel.run()
+    # rate = 4 cores * 4 ipc * 1.5 GHz = 24 Gips -> 1 second
+    assert done and done[0] == pytest.approx(1 * SEC, abs=10)
+
+
+def test_run_work_finishes_faster_after_overclock():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    done = []
+
+    def workload():
+        cpu.set_phase(utilization=1.0, boundness=1.0, freq_scaling=1.0)
+        yield from cpu.run_work(48.0)  # 2 s at nominal
+        done.append(kernel.now)
+
+    kernel.spawn(workload(), name="wl")
+    kernel.call_later(1 * SEC, lambda: cpu.set_frequency(2.3))
+    kernel.run()
+    # first second retires 24 Gi, remaining 24 Gi at 36.8 Gips ~ 0.652 s
+    expected = 1 * SEC + int(24.0 / (4 * 4 * 2.3) * SEC)
+    assert done and done[0] == pytest.approx(expected, abs=100)
+
+
+def test_run_work_waits_out_idle_phase():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    done = []
+
+    def workload():
+        cpu.set_phase(utilization=0.0)
+        yield from cpu.run_work(24.0)
+        done.append(kernel.now)
+
+    kernel.spawn(workload(), name="wl")
+    kernel.call_later(
+        5 * SEC, lambda: cpu.set_phase(utilization=1.0, boundness=1.0)
+    )
+    kernel.run()
+    assert done and done[0] == pytest.approx(6 * SEC, rel=0.01)
+
+
+def test_run_work_zero_amount_returns_immediately():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    done = []
+
+    def workload():
+        yield from cpu.run_work(0.0)
+        done.append(kernel.now)
+
+    kernel.spawn(workload(), name="wl")
+    kernel.run()
+    assert done == [0]
+
+
+def test_phase_validation():
+    cpu = make_cpu(Kernel())
+    with pytest.raises(ValueError):
+        cpu.set_phase(utilization=1.5)
+    with pytest.raises(ValueError):
+        cpu.set_phase(utilization=0.5, boundness=-0.1)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CpuModel(Kernel(), n_cores=0)
+    with pytest.raises(ValueError):
+        CpuModel(Kernel(), nominal_freq_ghz=3.0, max_freq_ghz=2.6)

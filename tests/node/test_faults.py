@@ -1,0 +1,65 @@
+"""Tests for fault injectors: model breaker and delay injector."""
+
+import numpy as np
+import pytest
+
+from repro.node.faults import DelayInjector, ModelBreaker, bad_usage_injector
+from repro.sim.units import SEC
+
+
+def test_model_breaker_passthrough_when_disarmed():
+    breaker = ModelBreaker(broken_value=99)
+    assert breaker.apply(5) == 5
+    assert breaker.activations == 0
+
+
+def test_model_breaker_overrides_when_armed():
+    breaker = ModelBreaker(broken_value=99)
+    breaker.arm()
+    assert breaker.apply(5) == 99
+    assert breaker.apply(7) == 99
+    assert breaker.activations == 2
+    breaker.disarm()
+    assert breaker.apply(5) == 5
+
+
+def test_delay_injector_consumes_windows_in_order():
+    injector = DelayInjector()
+    injector.add_window(at_us=5 * SEC, duration_us=2 * SEC)
+    injector.add_window(at_us=1 * SEC, duration_us=1 * SEC)
+    assert injector.pending_delay(0) == 0
+    assert injector.pending_delay(1 * SEC) == 1 * SEC
+    assert injector.pending_delay(1 * SEC) == 0  # consumed
+    assert injector.pending_delay(10 * SEC) == 2 * SEC
+
+
+def test_delay_injector_trigger_now_is_one_shot():
+    injector = DelayInjector()
+    injector.trigger_now(30 * SEC)
+    assert injector.pending_delay(42) == 30 * SEC
+    assert injector.pending_delay(43) == 0
+    assert injector.triggered == [(42, 30 * SEC)]
+
+
+def test_delay_injector_validation():
+    injector = DelayInjector()
+    with pytest.raises(ValueError):
+        injector.add_window(at_us=-1, duration_us=1)
+    with pytest.raises(ValueError):
+        injector.add_window(at_us=0, duration_us=0)
+    with pytest.raises(ValueError):
+        injector.trigger_now(0)
+
+
+def test_bad_usage_injector_zeroes_windows():
+    rng = np.random.default_rng(0)
+    inject = bad_usage_injector(rng, probability=1.0, scale=0.0)
+    samples = np.ones(10) * 4.0
+    assert inject(samples).sum() == 0.0
+
+
+def test_bad_usage_injector_probability_zero_is_identity():
+    rng = np.random.default_rng(0)
+    inject = bad_usage_injector(rng, probability=0.0)
+    samples = np.ones(5)
+    assert np.array_equal(inject(samples), samples)

@@ -1,0 +1,119 @@
+"""Tests for the hypervisor fluid model: wait accounting, sampling, harvest."""
+
+import numpy as np
+import pytest
+
+from repro.node.hypervisor import Hypervisor
+from repro.sim import Kernel, RngStreams
+from repro.sim.units import MS, SEC
+
+
+def test_initially_all_cores_allocated_no_deficit():
+    hv = Hypervisor(Kernel(), n_cores=8)
+    assert hv.allocated == 8
+    assert hv.harvested == 0
+    assert hv.deficit == 0.0
+
+
+def test_usage_is_min_of_demand_and_allocation():
+    hv = Hypervisor(Kernel(), n_cores=8)
+    hv.set_demand(3.0)
+    assert hv.usage == 3.0
+    hv.set_harvested(6)  # leaves 2 cores
+    assert hv.usage == 2.0
+    assert hv.deficit == pytest.approx(1.0)
+
+
+def test_wait_time_accrues_only_while_starved():
+    kernel = Kernel()
+    hv = Hypervisor(kernel, n_cores=4)
+    hv.set_demand(2.0)
+    kernel.run(until=1 * SEC)          # satisfied: no deficit
+    hv.set_harvested(3)                # leaves 1 core, deficit 1
+    kernel.run(until=3 * SEC)          # 2 s of deficit 1
+    hv.return_all_cores()
+    kernel.run(until=5 * SEC)
+    snap = hv.snapshot()
+    assert snap.wait_seconds() == pytest.approx(2.0)
+
+
+def test_elastic_usage_tracks_harvested_cores():
+    kernel = Kernel()
+    hv = Hypervisor(kernel, n_cores=8)
+    hv.set_harvested(5)
+    kernel.run(until=2 * SEC)
+    snap = hv.snapshot()
+    assert snap.elastic_cus == pytest.approx(5 * 2 * SEC)
+
+
+def test_demand_clamped_to_physical_cores():
+    hv = Hypervisor(Kernel(), n_cores=4)
+    hv.set_demand(100.0)
+    assert hv.demand == 4.0
+
+
+def test_harvest_request_clamped():
+    hv = Hypervisor(Kernel(), n_cores=4)
+    assert hv.set_harvested(10) == 4
+    assert hv.set_harvested(-3) == 0
+
+
+def test_sample_usage_reconstructs_piecewise_demand():
+    kernel = Kernel()
+    hv = Hypervisor(kernel, n_cores=8, history_horizon_us=SEC)
+    hv.set_demand(2.0)
+    kernel.run(until=10 * MS)
+    hv.set_demand(6.0)
+    kernel.run(until=20 * MS)
+    samples = hv.sample_usage(window_us=20 * MS, period_us=1 * MS)
+    assert samples.size == 20
+    assert samples[:10] == pytest.approx(np.full(10, 2.0))
+    assert samples[10:] == pytest.approx(np.full(10, 6.0))
+
+
+def test_sample_usage_respects_allocation_cap():
+    kernel = Kernel()
+    hv = Hypervisor(kernel, n_cores=8, history_horizon_us=SEC)
+    hv.set_demand(8.0)
+    hv.set_harvested(5)  # allocation = 3
+    kernel.run(until=25 * MS)
+    samples = hv.sample_usage(window_us=25 * MS, period_us=1 * MS)
+    assert samples.max() == pytest.approx(3.0)
+
+
+def test_sample_usage_noise_is_clipped_and_reproducible():
+    kernel = Kernel()
+    hv = Hypervisor(kernel, n_cores=8, history_horizon_us=SEC)
+    hv.set_demand(4.0)
+    kernel.run(until=25 * MS)
+    rng_a = RngStreams(9).get("samples")
+    rng_b = RngStreams(9).get("samples")
+    a = hv.sample_usage(25 * MS, 1 * MS, rng=rng_a, noise_cores=0.3)
+    b = hv.sample_usage(25 * MS, 1 * MS, rng=rng_b, noise_cores=0.3)
+    assert np.array_equal(a, b)
+    assert a.min() >= 0.0
+    assert a.max() <= 8.0
+    assert a.std() > 0.0
+
+
+def test_max_demand_over_window():
+    kernel = Kernel()
+    hv = Hypervisor(kernel, n_cores=8, history_horizon_us=SEC)
+    hv.set_demand(2.0)
+    kernel.run(until=100 * MS)
+    hv.set_demand(7.0)
+    kernel.run(until=110 * MS)
+    hv.set_demand(1.0)
+    kernel.run(until=120 * MS)
+    assert hv.max_demand_over(100 * MS) == pytest.approx(7.0)
+    assert hv.max_demand_over(5 * MS) == pytest.approx(1.0)
+
+
+def test_validation_errors():
+    hv = Hypervisor(Kernel(), n_cores=4)
+    with pytest.raises(ValueError):
+        hv.set_demand(-1.0)
+    with pytest.raises(ValueError):
+        hv.sample_usage(window_us=0, period_us=1)
+    with pytest.raises(ValueError):
+        Hypervisor(Kernel(), n_cores=0)

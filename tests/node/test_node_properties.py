@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for node-substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.node.cpu import CpuModel
+from repro.node.hypervisor import Hypervisor
+from repro.node.memory import Tier, TieredMemory
+from repro.sim import Kernel
+from repro.sim.units import MS, SEC
+
+cores = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+
+
+@given(
+    demands=st.lists(cores, min_size=1, max_size=30),
+    harvests=st.lists(st.integers(min_value=0, max_value=8), min_size=1,
+                      max_size=30),
+)
+@settings(max_examples=50, deadline=None)
+def test_hypervisor_conservation(demands, harvests):
+    """usage + deficit == demand, and usage <= allocated, at all times."""
+    kernel = Kernel()
+    hv = Hypervisor(kernel, n_cores=8)
+    step = 0
+    for demand, harvest in zip(demands, harvests):
+        hv.set_demand(demand)
+        hv.set_harvested(harvest)
+        assert hv.usage + hv.deficit == max(0.0, min(demand, 8.0) - 0.0) or (
+            abs(hv.usage + hv.deficit - min(demand, 8.0)) < 1e-9
+        )
+        assert hv.usage <= hv.allocated + 1e-9
+        assert 0 <= hv.harvested <= 8
+        step += 1
+        kernel.run(until=step * 10 * MS)
+    snap = hv.snapshot()
+    # integral identity: usage + deficit integrals == demand integral
+    assert abs(
+        (snap.usage_cus + snap.deficit_cus) - snap.demand_cus
+    ) <= 1e-6 * max(1.0, snap.demand_cus)
+
+
+@given(
+    rates=st.lists(
+        st.floats(min_value=0.0, max_value=50_000.0, allow_nan=False),
+        min_size=4,
+        max_size=16,
+    ),
+    migrations=st.lists(st.integers(min_value=0, max_value=3), max_size=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_memory_access_accounting_conserved(rates, migrations):
+    """local + remote accesses == sum of per-region true accesses."""
+    kernel = Kernel()
+    memory = TieredMemory(kernel, n_regions=len(rates), pages_per_region=64)
+    memory.set_rates(rates)
+    now = 0
+    for region in migrations:
+        region = region % len(rates)
+        now += 100 * MS
+        kernel.run(until=now)
+        memory.migrate(
+            region,
+            Tier.REMOTE if memory.tier_of(region) is Tier.LOCAL
+            else Tier.LOCAL,
+        )
+    kernel.run(until=now + 1 * SEC)
+    snap = memory.snapshot()
+    truth = memory.true_region_accesses().sum()
+    assert abs(snap.total_accesses - truth) <= 1e-6 * max(1.0, truth)
+
+
+@given(
+    freqs=st.lists(
+        st.floats(min_value=1.0, max_value=2.6, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    utils=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_counters_monotone_and_consistent(freqs, utils):
+    """Counters never decrease; unhalted <= total; stalled <= unhalted."""
+    kernel = Kernel()
+    cpu = CpuModel(kernel, n_cores=4)
+    previous = cpu.snapshot()
+    step = 0
+    for freq, util in zip(freqs, utils):
+        cpu.set_frequency(freq)
+        cpu.set_phase(utilization=util, boundness=0.5)
+        step += 1
+        kernel.run(until=step * 50 * MS)
+        snap = cpu.snapshot()
+        assert snap.instructions >= previous.instructions - 1e-12
+        assert snap.energy_joules >= previous.energy_joules - 1e-12
+        assert snap.total_cycles >= previous.total_cycles - 1e-12
+        assert snap.unhalted_cycles <= snap.total_cycles + 1e-9
+        assert snap.stalled_cycles <= snap.unhalted_cycles + 1e-9
+        previous = snap

@@ -1,0 +1,41 @@
+"""Tests for the power model."""
+
+import pytest
+
+from repro.node.power import PowerModel
+
+
+def test_idle_power_still_scales_with_frequency():
+    """C-states disabled: higher frequency costs power even at idle."""
+    model = PowerModel()
+    low = model.watts(n_cores=8, freq_ghz=1.5, utilization=0.0)
+    high = model.watts(n_cores=8, freq_ghz=2.3, utilization=0.0)
+    assert high > low
+
+
+def test_busy_power_exceeds_idle_power():
+    model = PowerModel()
+    idle = model.watts(8, 1.5, 0.0)
+    busy = model.watts(8, 1.5, 1.0)
+    assert busy > idle
+
+
+def test_dynamic_power_cubic_in_frequency():
+    model = PowerModel(static_watts=0.0, idle_activity=0.0)
+    p1 = model.watts(1, 1.0, 1.0)
+    p2 = model.watts(1, 2.0, 1.0)
+    assert p2 / p1 == pytest.approx(8.0)
+
+
+def test_power_linear_in_cores():
+    model = PowerModel(static_watts=0.0)
+    assert model.watts(4, 1.5, 0.5) == pytest.approx(2 * model.watts(2, 1.5, 0.5))
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        PowerModel(static_watts=-1.0)
+    with pytest.raises(ValueError):
+        PowerModel(dynamic_coeff=0.0)
+    with pytest.raises(ValueError):
+        PowerModel(idle_activity=1.5)

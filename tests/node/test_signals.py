@@ -1,0 +1,120 @@
+"""Tests for piecewise-constant signals and sliding-window quantiles."""
+
+import pytest
+
+from repro.node.signals import PiecewiseConstant, SlidingWindowQuantile
+from repro.sim import Kernel
+from repro.sim.units import MS, SEC
+
+
+def test_integral_of_constant_signal():
+    kernel = Kernel()
+    signal = PiecewiseConstant(kernel, initial=2.0)
+    kernel.run(until=10 * SEC)
+    assert signal.integral() == pytest.approx(2.0 * 10 * SEC)
+
+
+def test_integral_across_changes_is_exact():
+    kernel = Kernel()
+    signal = PiecewiseConstant(kernel, initial=1.0)
+    kernel.run(until=2 * SEC)
+    signal.set(3.0)
+    kernel.run(until=5 * SEC)
+    signal.set(0.0)
+    kernel.run(until=100 * SEC)
+    expected = 1.0 * 2 * SEC + 3.0 * 3 * SEC
+    assert signal.integral() == pytest.approx(expected)
+
+
+def test_add_is_relative_set():
+    kernel = Kernel()
+    signal = PiecewiseConstant(kernel, initial=1.5)
+    signal.add(2.5)
+    assert signal.value == pytest.approx(4.0)
+
+
+def test_mean_over_window_with_history():
+    kernel = Kernel()
+    signal = PiecewiseConstant(kernel, initial=0.0, history_horizon_us=10 * SEC)
+    kernel.run(until=1 * SEC)
+    signal.set(4.0)
+    kernel.run(until=3 * SEC)
+    # window = last 4s: 1s of 0.0 (clipped to window start=0... now=3s) ->
+    # covers [0,1)=0.0 and [1,3)=4.0 -> mean = (0*1 + 4*2)/3
+    assert signal.mean_over(4 * SEC) == pytest.approx(8.0 / 3.0)
+
+
+def test_mean_over_without_history_falls_back_to_current():
+    kernel = Kernel()
+    signal = PiecewiseConstant(kernel, initial=7.0)
+    kernel.run(until=1 * SEC)
+    assert signal.mean_over(10 * SEC) == pytest.approx(7.0)
+
+
+def test_segments_since_clips_to_start():
+    kernel = Kernel()
+    signal = PiecewiseConstant(kernel, initial=1.0, history_horizon_us=60 * SEC)
+    kernel.run(until=2 * SEC)
+    signal.set(2.0)
+    kernel.run(until=4 * SEC)
+    segments = list(signal.segments_since(3 * SEC))
+    assert segments == [(3 * SEC, 4 * SEC, 2.0)]
+
+
+def test_history_horizon_evicts_old_segments():
+    kernel = Kernel()
+    signal = PiecewiseConstant(kernel, initial=1.0, history_horizon_us=1 * SEC)
+    for step in range(1, 6):
+        kernel.run(until=step * SEC)
+        signal.set(float(step))
+    # Only segments overlapping the last second should remain.
+    assert len(signal._history) <= 2
+
+
+def test_quantile_empty_returns_none():
+    window = SlidingWindowQuantile(Kernel(), window_us=SEC)
+    assert window.quantile(0.9) is None
+
+
+def test_quantile_nearest_rank():
+    kernel = Kernel()
+    window = SlidingWindowQuantile(kernel, window_us=10 * SEC)
+    for value in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]:
+        window.observe(value)
+    assert window.quantile(0.5) == 5.0
+    assert window.quantile(0.9) == 9.0
+    assert window.quantile(1.0) == 10.0
+    assert window.quantile(0.0) == 1.0
+
+
+def test_quantile_evicts_outside_window():
+    kernel = Kernel()
+    window = SlidingWindowQuantile(kernel, window_us=1 * SEC)
+    window.observe(100.0)
+    kernel.run(until=2 * SEC)
+    window.observe(1.0)
+    assert window.quantile(1.0) == 1.0
+    assert len(window) == 1
+
+
+def test_quantile_rejects_bad_q():
+    window = SlidingWindowQuantile(Kernel(), window_us=SEC)
+    window.observe(1.0)
+    with pytest.raises(ValueError):
+        window.quantile(1.5)
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        SlidingWindowQuantile(Kernel(), window_us=0)
+
+
+def test_segment_at_change_instant_exposes_current_value():
+    kernel = Kernel()
+    signal = PiecewiseConstant(kernel, initial=1.0, history_horizon_us=10 * SEC)
+    kernel.run(until=1 * SEC)
+    signal.set(9.0)
+    segments = list(signal.segments_since(0))
+    # history segment plus zero-width current segment
+    assert (0, 1 * SEC, 1.0) in segments
+    assert any(value == 9.0 for _s, _e, value in segments)

@@ -1,0 +1,52 @@
+"""Tests for the agent-characterization data (Tables 1-2)."""
+
+import pytest
+
+from repro.platform import (
+    TABLE1_TAXONOMY,
+    TABLE2_LEARNING_AGENTS,
+    learning_beneficiary_fraction,
+    render_table1,
+    render_table2,
+)
+
+
+def test_census_totals_77_agents():
+    assert sum(cls.count for cls in TABLE1_TAXONOMY) == 77
+
+
+def test_six_classes():
+    assert len(TABLE1_TAXONOMY) == 6
+    names = {cls.name for cls in TABLE1_TAXONOMY}
+    assert "Watchdogs" in names
+    assert "Resource control" in names
+
+
+def test_beneficiary_fraction_is_the_papers_35_percent():
+    assert learning_beneficiary_fraction() == pytest.approx(27 / 77)
+    assert round(learning_beneficiary_fraction() * 100) == 35
+
+
+def test_beneficiary_classes_match_paper():
+    beneficiaries = {
+        cls.name for cls in TABLE1_TAXONOMY if cls.benefits_from_learning
+    }
+    assert beneficiaries == {
+        "Monitoring/logging", "Watchdogs", "Resource control",
+    }
+
+
+def test_table2_has_six_example_agents():
+    assert len(TABLE2_LEARNING_AGENTS) == 6
+    names = [agent.name for agent in TABLE2_LEARNING_AGENTS]
+    assert any("SmartHarvest" in name for name in names)
+    assert any("SmartOverclock" in name for name in names)
+    assert any("SmartMemory" in name for name in names)
+
+
+def test_renderings_contain_key_rows():
+    table1 = render_table1()
+    assert "35%" in table1
+    assert "Watchdogs" in table1
+    table2 = render_table2()
+    assert "Cost-sensitive classification" in table2

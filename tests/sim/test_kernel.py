@@ -1,0 +1,292 @@
+"""Unit tests for the discrete-event kernel: ordering, processes, events."""
+
+import pytest
+
+from repro.sim import (
+    Kernel,
+    KernelStopped,
+    ProcessKilled,
+    SchedulingError,
+    SimulationError,
+)
+from repro.sim.units import MS, SEC
+
+
+def test_clock_starts_at_zero():
+    assert Kernel().now == 0
+
+
+def test_call_later_fires_in_time_order():
+    kernel = Kernel()
+    fired = []
+    kernel.call_later(30, lambda: fired.append("c"))
+    kernel.call_later(10, lambda: fired.append("a"))
+    kernel.call_later(20, lambda: fired.append("b"))
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+    assert kernel.now == 30
+
+
+def test_same_timestamp_preserves_insertion_order():
+    kernel = Kernel()
+    fired = []
+    for label in ("first", "second", "third"):
+        kernel.call_later(5, lambda label=label: fired.append(label))
+    kernel.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    kernel = Kernel()
+    kernel.run(until=2 * SEC)
+    assert kernel.now == 2 * SEC
+
+
+def test_run_until_does_not_execute_later_events():
+    kernel = Kernel()
+    fired = []
+    kernel.call_later(1 * SEC, lambda: fired.append("early"))
+    kernel.call_later(3 * SEC, lambda: fired.append("late"))
+    kernel.run(until=2 * SEC)
+    assert fired == ["early"]
+    assert kernel.now == 2 * SEC
+    kernel.run()
+    assert fired == ["early", "late"]
+
+
+def test_call_at_in_past_raises():
+    kernel = Kernel()
+    kernel.call_later(100, lambda: None)
+    kernel.run()
+    with pytest.raises(SchedulingError):
+        kernel.call_at(50, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SchedulingError):
+        Kernel().call_later(-1, lambda: None)
+
+
+def test_process_sleep_advances_time():
+    kernel = Kernel()
+    trace = []
+
+    def proc():
+        trace.append(kernel.now)
+        yield 100 * MS
+        trace.append(kernel.now)
+        yield 250 * MS
+        trace.append(kernel.now)
+
+    kernel.spawn(proc(), name="sleeper")
+    kernel.run()
+    assert trace == [0, 100 * MS, 350 * MS]
+
+
+def test_process_return_value_visible_via_join():
+    kernel = Kernel()
+    results = []
+
+    def worker():
+        yield 10
+        return 42
+
+    def joiner(target):
+        value = yield target
+        results.append(value)
+
+    target = kernel.spawn(worker(), name="worker")
+    kernel.spawn(joiner(target), name="joiner")
+    kernel.run()
+    assert results == [42]
+    assert not target.alive
+
+
+def test_event_wakes_all_waiters_with_value():
+    kernel = Kernel()
+    event = kernel.event("go")
+    woken = []
+
+    def waiter(tag):
+        value = yield event
+        woken.append((tag, value, kernel.now))
+
+    kernel.spawn(waiter("a"), name="a")
+    kernel.spawn(waiter("b"), name="b")
+    kernel.call_later(5 * MS, lambda: event.succeed("payload"))
+    kernel.run()
+    assert woken == [("a", "payload", 5 * MS), ("b", "payload", 5 * MS)]
+
+
+def test_event_succeed_is_first_writer_wins():
+    kernel = Kernel()
+    event = kernel.event()
+    assert event.succeed(1) is True
+    assert event.succeed(2) is False
+    assert event.value == 1
+
+
+def test_waiting_on_already_succeeded_event_resumes_immediately():
+    kernel = Kernel()
+    event = kernel.event()
+    event.succeed("early")
+    seen = []
+
+    def late_waiter():
+        value = yield event
+        seen.append(value)
+
+    kernel.spawn(late_waiter(), name="late")
+    kernel.run()
+    assert seen == ["early"]
+
+
+def test_kill_runs_finally_blocks():
+    kernel = Kernel()
+    cleaned = []
+
+    def proc():
+        try:
+            while True:
+                yield 1 * SEC
+        finally:
+            cleaned.append("finally")
+
+    process = kernel.spawn(proc(), name="victim")
+    kernel.run(until=3 * SEC)
+    process.kill()
+    assert cleaned == ["finally"]
+    assert not process.alive
+
+
+def test_kill_is_idempotent():
+    kernel = Kernel()
+
+    def proc():
+        yield 1 * SEC
+
+    process = kernel.spawn(proc(), name="p")
+    process.kill()
+    process.kill()
+    assert not process.alive
+
+
+def test_killed_process_does_not_wake_from_event():
+    kernel = Kernel()
+    event = kernel.event()
+    woken = []
+
+    def proc():
+        value = yield event
+        woken.append(value)
+
+    process = kernel.spawn(proc(), name="p")
+    kernel.run(until=1 * MS)
+    process.kill()
+    event.succeed("too-late")
+    kernel.run()
+    assert woken == []
+
+
+def test_process_catching_processkilled_still_terminates():
+    kernel = Kernel()
+
+    def stubborn():
+        try:
+            yield 1 * SEC
+        except ProcessKilled:
+            pass  # swallow; kernel must still retire the process
+
+    process = kernel.spawn(stubborn(), name="stubborn")
+    kernel.run(until=1 * MS)
+    process.kill()
+    assert not process.alive
+
+
+def test_yielding_garbage_raises_simulation_error():
+    kernel = Kernel()
+
+    def bad():
+        yield "not-a-valid-request"
+
+    kernel.spawn(bad(), name="bad")
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_process_exception_propagates_out_of_run():
+    kernel = Kernel()
+
+    def boom():
+        yield 10
+        raise RuntimeError("agent bug")
+
+    kernel.spawn(boom(), name="boom")
+    with pytest.raises(RuntimeError, match="agent bug"):
+        kernel.run()
+
+
+def test_stop_kills_processes_and_blocks_new_work():
+    kernel = Kernel()
+
+    def proc():
+        while True:
+            yield 1 * SEC
+
+    process = kernel.spawn(proc(), name="p")
+    kernel.run(until=500 * MS)
+    kernel.stop()
+    assert not process.alive
+    with pytest.raises(KernelStopped):
+        kernel.call_later(1, lambda: None)
+    with pytest.raises(KernelStopped):
+        kernel.spawn(proc(), name="q")
+
+
+def test_step_executes_exactly_one_event():
+    kernel = Kernel()
+    fired = []
+    kernel.call_later(1, lambda: fired.append(1))
+    kernel.call_later(2, lambda: fired.append(2))
+    assert kernel.step() is True
+    assert fired == [1]
+    assert kernel.step() is True
+    assert kernel.step() is False
+    assert fired == [1, 2]
+
+
+def test_live_processes_tracking():
+    kernel = Kernel()
+
+    def short():
+        yield 1
+
+    def long():
+        yield 1 * SEC
+
+    kernel.spawn(short(), name="short")
+    keeper = kernel.spawn(long(), name="long")
+    kernel.run(until=10)
+    assert [p.name for p in kernel.live_processes()] == ["long"]
+    kernel.run()
+    assert not keeper.alive
+
+
+def test_zero_delay_yield_resumes_same_timestamp_later_order():
+    kernel = Kernel()
+    trace = []
+
+    def a():
+        trace.append(("a", kernel.now))
+        yield 0
+        trace.append(("a2", kernel.now))
+
+    def b():
+        trace.append(("b", kernel.now))
+        yield 0
+        trace.append(("b2", kernel.now))
+
+    kernel.spawn(a(), name="a")
+    kernel.spawn(b(), name="b")
+    kernel.run()
+    assert trace == [("a", 0), ("b", 0), ("a2", 0), ("b2", 0)]

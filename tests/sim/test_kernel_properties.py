@@ -1,0 +1,75 @@
+"""Property-based tests (hypothesis) for kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Kernel
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**9), max_size=60))
+@settings(max_examples=60)
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    """Whatever the insertion order, execution time never goes backwards."""
+    kernel = Kernel()
+    fired = []
+    for delay in delays:
+        kernel.call_later(delay, lambda d=delay: fired.append((kernel.now, d)))
+    kernel.run()
+    times = [t for t, _d in fired]
+    assert times == sorted(times)
+    assert sorted(d for _t, d in fired) == sorted(delays)
+    # every callback fired exactly at its requested time
+    assert all(t == d for t, d in fired)
+
+
+@given(
+    sleeps=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                    max_size=30)
+)
+@settings(max_examples=60)
+def test_process_clock_equals_sum_of_sleeps(sleeps):
+    """A process that sleeps d1..dn observes now == prefix sums exactly."""
+    kernel = Kernel()
+    observed = []
+
+    def proc():
+        for sleep in sleeps:
+            yield sleep
+            observed.append(kernel.now)
+
+    kernel.spawn(proc(), name="p")
+    kernel.run()
+    prefix = 0
+    expected = []
+    for sleep in sleeps:
+        prefix += sleep
+        expected.append(prefix)
+    assert observed == expected
+
+
+@given(
+    n_procs=st.integers(min_value=1, max_value=8),
+    n_rounds=st.integers(min_value=1, max_value=8),
+    period=st.integers(min_value=1, max_value=1000),
+)
+@settings(max_examples=40)
+def test_identical_periodic_processes_interleave_deterministically(
+    n_procs, n_rounds, period
+):
+    """Two runs with identical setup produce identical event traces."""
+
+    def build_trace():
+        kernel = Kernel()
+        trace = []
+
+        def proc(tag):
+            for _round in range(n_rounds):
+                yield period
+                trace.append((kernel.now, tag))
+
+        for i in range(n_procs):
+            kernel.spawn(proc(i), name=f"p{i}")
+        kernel.run()
+        return trace
+
+    assert build_trace() == build_trace()

@@ -1,0 +1,132 @@
+"""Tests for SimQueue: FIFO order, timeouts, capacity-1 supersede semantics."""
+
+import pytest
+
+from repro.sim import Kernel, QUEUE_TIMEOUT, SimQueue
+from repro.sim.units import MS, SEC
+
+
+def run_consumer(kernel, queue, timeout_us, results):
+    def consumer():
+        item = yield from queue.get(timeout_us=timeout_us)
+        results.append((kernel.now, item))
+
+    kernel.spawn(consumer(), name="consumer")
+
+
+def test_get_returns_item_already_queued():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    queue.put("x")
+    results = []
+    run_consumer(kernel, queue, None, results)
+    kernel.run()
+    assert results == [(0, "x")]
+
+
+def test_get_blocks_until_put():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    results = []
+    run_consumer(kernel, queue, None, results)
+    kernel.call_later(7 * MS, lambda: queue.put("late"))
+    kernel.run()
+    assert results == [(7 * MS, "late")]
+
+
+def test_get_times_out_with_sentinel():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    results = []
+    run_consumer(kernel, queue, 5 * SEC, results)
+    kernel.run()
+    assert results == [(5 * SEC, QUEUE_TIMEOUT)]
+
+
+def test_item_arriving_before_timeout_wins():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    results = []
+    run_consumer(kernel, queue, 5 * SEC, results)
+    kernel.call_later(1 * SEC, lambda: queue.put("fresh"))
+    kernel.run()
+    assert results == [(1 * SEC, "fresh")]
+
+
+def test_timed_out_consumer_does_not_steal_later_item():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    results = []
+    run_consumer(kernel, queue, 1 * MS, results)
+    kernel.call_later(2 * MS, lambda: queue.put("after-timeout"))
+    kernel.run()
+    assert results == [(1 * MS, QUEUE_TIMEOUT)]
+    assert len(queue) == 1  # the item is still there for the next get
+    assert queue.try_get() == "after-timeout"
+
+
+def test_fifo_order_across_multiple_items():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    for item in (1, 2, 3):
+        queue.put(item)
+    seen = [queue.try_get() for _ in range(3)]
+    assert seen == [1, 2, 3]
+
+
+def test_try_get_on_empty_returns_sentinel():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    assert queue.try_get() is QUEUE_TIMEOUT
+
+
+def test_capacity_one_supersedes_oldest():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=1)
+    queue.put("stale")
+    queue.put("fresh")
+    assert len(queue) == 1
+    assert queue.dropped == 1
+    assert queue.try_get() == "fresh"
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        SimQueue(Kernel(), capacity=0)
+
+
+def test_two_consumers_fifo_wakeup():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    results = []
+
+    def consumer(tag):
+        item = yield from queue.get()
+        results.append((tag, item))
+
+    kernel.spawn(consumer("first"), name="c1")
+    kernel.spawn(consumer("second"), name="c2")
+    kernel.call_later(1 * MS, lambda: queue.put("a"))
+    kernel.call_later(2 * MS, lambda: queue.put("b"))
+    kernel.run()
+    assert results == [("first", "a"), ("second", "b")]
+
+
+def test_clear_reports_dropped_count():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    queue.put(1)
+    queue.put(2)
+    assert queue.clear() == 2
+    assert len(queue) == 0
+
+
+def test_none_is_a_valid_message_distinct_from_timeout():
+    kernel = Kernel()
+    queue = SimQueue(kernel)
+    queue.put(None)
+    results = []
+    run_consumer(kernel, queue, 1 * MS, results)
+    kernel.run()
+    assert results == [(0, None)]
+    assert results[0][1] is not QUEUE_TIMEOUT

@@ -1,0 +1,26 @@
+"""Tests for time-unit helpers."""
+
+import pytest
+
+from repro.sim.units import MINUTE, MS, SEC, format_duration, from_seconds, to_seconds
+
+
+def test_constants_relationships():
+    assert SEC == 1000 * MS
+    assert MINUTE == 60 * SEC
+
+
+def test_round_trip_conversion():
+    assert to_seconds(from_seconds(2.5)) == pytest.approx(2.5)
+    assert from_seconds(0.000001) == 1
+
+
+def test_negative_seconds_rejected():
+    with pytest.raises(ValueError):
+        from_seconds(-0.1)
+
+
+def test_format_duration_bands():
+    assert format_duration(500) == "500us"
+    assert format_duration(2 * MS) == "2.000ms"
+    assert format_duration(3 * SEC + 500 * MS) == "3.500s"

@@ -1,0 +1,84 @@
+"""Tests for ObjectStore and DiskSpeed CPU workloads."""
+
+import pytest
+
+from repro.node.cpu import CpuModel
+from repro.sim import Kernel, RngStreams
+from repro.sim.units import SEC
+from repro.workloads.diskspeed import DiskSpeedWorkload
+from repro.workloads.objectstore import ObjectStoreWorkload
+
+
+def make_cpu(kernel):
+    return CpuModel(kernel, n_cores=8, nominal_freq_ghz=1.5, max_ipc=4.0)
+
+
+def run_objectstore(freq, seconds=60, seed=0):
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    workload = ObjectStoreWorkload(
+        kernel, cpu, RngStreams(seed).get("objstore")
+    ).start()
+    cpu.set_frequency(freq)
+    kernel.run(until=seconds * SEC)
+    return workload.performance(), cpu.snapshot()
+
+
+def test_objectstore_latency_improves_with_overclocking():
+    nominal, _ = run_objectstore(1.5)
+    overclocked, _ = run_objectstore(2.3)
+    assert overclocked.value < nominal.value
+    # speedup should be close to (2.3/1.5)^0.9
+    assert nominal.value / overclocked.value == pytest.approx(
+        (2.3 / 1.5) ** 0.9, rel=0.1
+    )
+
+
+def test_objectstore_power_rises_with_overclocking():
+    _, nominal_snap = run_objectstore(1.5)
+    _, oc_snap = run_objectstore(2.3)
+    assert oc_snap.energy_joules > nominal_snap.energy_joules
+
+
+def test_objectstore_alpha_is_high():
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    ObjectStoreWorkload(kernel, cpu, RngStreams(0).get("o")).start()
+    kernel.run(until=5 * SEC)
+    assert cpu.alpha > 0.7  # CPU-bound: worth overclocking
+
+
+def run_diskspeed(freq, seconds=60, seed=0):
+    kernel = Kernel()
+    cpu = make_cpu(kernel)
+    workload = DiskSpeedWorkload(
+        kernel, cpu, RngStreams(seed).get("disk")
+    ).start()
+    cpu.set_frequency(freq)
+    kernel.run(until=seconds * SEC)
+    return workload.performance(), cpu
+
+
+def test_diskspeed_throughput_insensitive_to_frequency():
+    nominal, _ = run_diskspeed(1.5)
+    overclocked, _ = run_diskspeed(2.3)
+    assert overclocked.value / nominal.value == pytest.approx(1.0, abs=0.05)
+    assert nominal.higher_is_better
+
+
+def test_diskspeed_alpha_is_low():
+    _, cpu = run_diskspeed(1.5)
+    assert cpu.alpha < 0.2  # stalled on IO: overclocking is waste
+
+
+def test_reports_reproducible_with_seed():
+    a, _ = run_objectstore(1.5, seconds=20, seed=7)
+    b, _ = run_objectstore(1.5, seconds=20, seed=7)
+    assert a.value == b.value
+
+
+def test_normalization_directions():
+    nominal, _ = run_objectstore(1.5, seconds=20)
+    overclocked, _ = run_objectstore(2.3, seconds=20)
+    # lower latency -> normalized performance > 1
+    assert overclocked.normalized_against(nominal) > 1.0

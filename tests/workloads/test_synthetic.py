@@ -1,0 +1,87 @@
+"""Tests for the Synthetic periodic-batch workload."""
+
+import pytest
+
+from repro.node.cpu import CpuModel
+from repro.sim import Kernel
+from repro.sim.units import SEC
+from repro.workloads.synthetic import SyntheticBatchWorkload
+
+
+def make_workload(kernel, **kwargs):
+    cpu = CpuModel(kernel, n_cores=8, nominal_freq_ghz=1.5, max_ipc=4.0)
+    defaults = dict(period_us=10 * SEC)
+    defaults.update(kwargs)
+    return cpu, SyntheticBatchWorkload(kernel, cpu, **defaults)
+
+
+def test_batches_alternate_with_idle():
+    kernel = Kernel()
+    cpu, workload = make_workload(kernel)
+    workload.start()
+    # arrivals at 0, 10, 20, 30 s; each batch takes ~5.5 s at nominal
+    kernel.run(until=36 * SEC)
+    assert workload.batches_completed == 4
+    for start, end in workload.batch_windows:
+        assert end > start
+        assert (end - start) < 10 * SEC  # finishes before the next arrival
+
+
+def test_default_batch_sizing_gives_expected_duty_cycle():
+    kernel = Kernel()
+    cpu, workload = make_workload(kernel)
+    workload.start()
+    kernel.run(until=50 * SEC)
+    report = workload.performance()
+    # default sizing: ~55% of the period at nominal frequency
+    assert report.value == pytest.approx(5.5, rel=0.02)
+    assert not report.higher_is_better
+
+
+def test_overclocking_shortens_batches():
+    kernel = Kernel()
+    cpu, workload = make_workload(kernel)
+    workload.start()
+    kernel.run(until=10 * SEC)
+    nominal_duration = workload.batch_windows[0]
+    cpu.set_frequency(2.3)
+    kernel.run(until=20 * SEC)
+    overclocked_duration = workload.batch_windows[1]
+    speedup = (nominal_duration[1] - nominal_duration[0]) / (
+        overclocked_duration[1] - overclocked_duration[0]
+    )
+    assert speedup == pytest.approx(2.3 / 1.5, rel=0.01)
+
+
+def test_on_batch_end_callbacks_fire():
+    kernel = Kernel()
+    _cpu, workload = make_workload(kernel)
+    seen = []
+    workload.on_batch_end.append(lambda index: seen.append(index))
+    workload.start()
+    kernel.run(until=26 * SEC)  # batches end at ~5.5, 15.5, 25.5 s
+    assert seen == [0, 1, 2]
+
+
+def test_n_batches_stops_the_workload():
+    kernel = Kernel()
+    cpu, workload = make_workload(kernel, n_batches=2)
+    workload.start()
+    kernel.run(until=60 * SEC)
+    assert workload.batches_completed == 2
+    assert cpu.utilization == 0.0  # left idle
+
+
+def test_performance_before_any_batch_raises():
+    kernel = Kernel()
+    _cpu, workload = make_workload(kernel)
+    with pytest.raises(ValueError):
+        workload.performance()
+
+
+def test_double_start_rejected():
+    kernel = Kernel()
+    _cpu, workload = make_workload(kernel)
+    workload.start()
+    with pytest.raises(RuntimeError):
+        workload.start()

@@ -1,0 +1,81 @@
+"""Tests for TailBench-style demand workloads."""
+
+import pytest
+
+from repro.node.hypervisor import Hypervisor
+from repro.sim import Kernel, RngStreams
+from repro.sim.units import MS, SEC
+from repro.workloads.tailbench import IMAGE_DNN, MOSES, TailBenchWorkload
+
+
+def run_workload(profile, seconds=30, harvested=0, seed=0, horizon=None):
+    kernel = Kernel()
+    hv = Hypervisor(
+        kernel, n_cores=8,
+        history_horizon_us=horizon if horizon else 500 * MS,
+    )
+    hv.set_harvested(harvested)
+    workload = TailBenchWorkload(
+        kernel, hv, RngStreams(seed).get(profile.name), profile
+    ).start()
+    kernel.run(until=seconds * SEC)
+    return workload, hv
+
+
+def test_demand_stays_in_physical_range():
+    workload, hv = run_workload(IMAGE_DNN)
+    assert 0.0 <= hv.demand <= 8.0
+
+
+def test_latency_near_base_when_unharvested():
+    workload, _hv = run_workload(IMAGE_DNN)
+    report = workload.performance()
+    # with all cores available there is no starvation: P99 is just jitter
+    assert report.value == pytest.approx(
+        IMAGE_DNN.base_latency_ms, rel=0.35
+    )
+
+
+def test_aggressive_harvesting_inflates_p99():
+    gentle, _ = run_workload(IMAGE_DNN, harvested=0)
+    starved, _ = run_workload(IMAGE_DNN, harvested=6)  # only 2 cores left
+    # preemption bounds each step's damage, so inflation is capped
+    # (~1 + starvation_penalty at full starvation)
+    assert starved.performance().value > 1.3 * gentle.performance().value
+
+
+def test_bursts_reach_burst_level():
+    # max_demand_over only sees the retained history horizon, so keep
+    # the full run in history for this check.
+    workload, hv = run_workload(IMAGE_DNN, seconds=60, horizon=60 * SEC)
+    assert hv.max_demand_over(60 * SEC) >= IMAGE_DNN.burst_cores - 1.0
+
+
+def test_moses_is_lighter_than_image_dnn():
+    kernel_a = Kernel()
+    hv_a = Hypervisor(kernel_a, n_cores=8)
+    dnn = TailBenchWorkload(
+        kernel_a, hv_a, RngStreams(1).get("dnn"), IMAGE_DNN
+    ).start()
+    kernel_a.run(until=60 * SEC)
+    kernel_b = Kernel()
+    hv_b = Hypervisor(kernel_b, n_cores=8)
+    moses = TailBenchWorkload(
+        kernel_b, hv_b, RngStreams(1).get("moses"), MOSES
+    ).start()
+    kernel_b.run(until=60 * SEC)
+    demand_dnn = hv_a.snapshot().demand_cus
+    demand_moses = hv_b.snapshot().demand_cus
+    assert demand_moses < demand_dnn
+
+
+def test_latency_samples_accumulate_each_step():
+    workload, _ = run_workload(MOSES, seconds=10)
+    # one sample per 25 ms step
+    assert len(workload.latency_samples_ms) == pytest.approx(400, abs=2)
+
+
+def test_reproducible_with_seed():
+    a, _ = run_workload(IMAGE_DNN, seconds=10, seed=3)
+    b, _ = run_workload(IMAGE_DNN, seconds=10, seed=3)
+    assert a.latency_samples_ms == b.latency_samples_ms

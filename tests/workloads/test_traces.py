@@ -1,0 +1,120 @@
+"""Tests for Zipf memory traces and the oscillating stress workload."""
+
+import numpy as np
+import pytest
+
+from repro.node.memory import TieredMemory
+from repro.sim import Kernel, RngStreams
+from repro.sim.units import SEC
+from repro.workloads.traces import (
+    OBJECTSTORE_MEM,
+    SPECJBB_MEM,
+    OscillatingMemoryTrace,
+    ZipfMemoryTrace,
+    zipf_rates,
+)
+
+
+def make_trace(kernel, profile=OBJECTSTORE_MEM, n_regions=64, seed=0):
+    memory = TieredMemory(kernel, n_regions=n_regions, pages_per_region=512)
+    trace = ZipfMemoryTrace(
+        kernel, memory, RngStreams(seed).get("trace"), profile
+    )
+    return memory, trace
+
+
+def test_zipf_rates_sum_to_total():
+    permutation = np.arange(64)
+    rates = zipf_rates(64, OBJECTSTORE_MEM, permutation)
+    assert rates.sum() == pytest.approx(OBJECTSTORE_MEM.total_rate)
+
+
+def test_zipf_rates_cold_fraction_is_zero():
+    permutation = np.arange(100)
+    rates = zipf_rates(100, OBJECTSTORE_MEM, permutation)
+    n_active = int(round(OBJECTSTORE_MEM.active_fraction * 100))
+    assert np.count_nonzero(rates) == n_active
+
+
+def test_zipf_skew_top_region_dominates():
+    permutation = np.arange(64)
+    rates = zipf_rates(64, OBJECTSTORE_MEM, permutation)
+    assert rates.max() > 10 * np.median(rates[rates > 0])
+
+
+def test_trace_applies_rates_on_start():
+    kernel = Kernel()
+    memory, trace = make_trace(kernel)
+    trace.start()
+    kernel.run(until=1 * SEC)
+    assert memory.rates.sum() == pytest.approx(OBJECTSTORE_MEM.total_rate)
+
+
+def test_popularity_shift_changes_ranking_but_not_total():
+    kernel = Kernel()
+    memory, trace = make_trace(kernel)
+    trace.start()
+    kernel.run(until=1 * SEC)
+    before = memory.rates
+    kernel.run(until=OBJECTSTORE_MEM.shift_interval_us + 1 * SEC)
+    after = memory.rates
+    assert trace.shifts >= 1
+    assert not np.array_equal(before, after)
+    assert after.sum() == pytest.approx(before.sum())
+
+
+def test_oscillating_trace_sleeps_and_wakes():
+    kernel = Kernel()
+    memory = TieredMemory(kernel, n_regions=64, pages_per_region=512)
+    trace = OscillatingMemoryTrace(
+        kernel,
+        memory,
+        RngStreams(0).get("osc"),
+        SPECJBB_MEM,
+        active_us=20 * SEC,
+        sleep_us=10 * SEC,
+    )
+    trace.start()
+    kernel.run(until=5 * SEC)
+    active_rate = memory.rates.sum()
+    kernel.run(until=25 * SEC)  # inside the sleep phase
+    sleep_rate = memory.rates.sum()
+    assert sleep_rate < 0.1 * active_rate
+    kernel.run(until=35 * SEC)  # woke again
+    assert memory.rates.sum() == pytest.approx(active_rate, rel=0.01)
+    assert [phase for _t, phase in trace.phase_log[:3]] == [
+        "active", "sleep", "active",
+    ]
+
+
+def test_oscillating_wake_reshuffles_popularity():
+    kernel = Kernel()
+    memory = TieredMemory(kernel, n_regions=128, pages_per_region=512)
+    trace = OscillatingMemoryTrace(
+        kernel,
+        memory,
+        RngStreams(1).get("osc"),
+        SPECJBB_MEM,
+        active_us=20 * SEC,
+        sleep_us=10 * SEC,
+        wake_shift_fraction=0.5,
+    )
+    trace.start()
+    kernel.run(until=5 * SEC)
+    before = memory.rates
+    kernel.run(until=35 * SEC)  # one full cycle: wake reshuffled
+    after = memory.rates
+    # at least some of the top regions changed
+    top_before = set(np.argsort(before)[-10:])
+    top_after = set(np.argsort(after)[-10:])
+    assert top_before != top_after
+
+
+def test_local_fraction_performance_metric():
+    kernel = Kernel()
+    memory, trace = make_trace(kernel)
+    trace.start()
+    kernel.run(until=10 * SEC)
+    report = trace.performance()
+    assert report.value == pytest.approx(1.0)  # everything still local
+    assert report.higher_is_better
