@@ -1,0 +1,30 @@
+"""Fleet driver: serial vs sharded simulation of the same fleet.
+
+Pins the sharding contract at benchmark scale — the parallel run's
+aggregate digest must equal the serial run's — and reports the wall
+time of each path.  (Speedup is machine-dependent: a pool only helps
+when spare cores exist; determinism must hold everywhere.)
+"""
+
+from conftest import run_and_print
+
+from repro.experiments.driver import FleetDriver
+from repro.fleet.config import FleetConfig
+
+CONFIG = FleetConfig(n_nodes=32, agent="overclock", seed=0, duration_s=60)
+
+
+def _run(workers):
+    return FleetDriver(CONFIG, workers=workers).run()
+
+
+def test_fleet_serial(benchmark):
+    aggregate = run_and_print(benchmark, _run, 1)
+    assert aggregate.n_nodes == 32
+
+
+def test_fleet_sharded(benchmark):
+    aggregate = run_and_print(benchmark, _run, 4)
+    assert aggregate.n_nodes == 32
+    # The headline contract: sharding never changes the physics.
+    assert aggregate.digest() == _run(1).digest()

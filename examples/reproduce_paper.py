@@ -1,53 +1,30 @@
 """Regenerate every table and figure of the paper in one go.
 
 This is the full evaluation driver.  Expect a few minutes of wall time;
-pass ``--quick`` for a shortened (less converged) pass.
+pass ``--quick`` for a shortened (less converged) pass and
+``--parallel`` to shard artifacts across worker processes.
 
-Run:  python examples/reproduce_paper.py [--quick]
+Run:  python examples/reproduce_paper.py [--quick] [--parallel]
+
+Equivalent CLI:  python -m repro reproduce-all [--quick] [--parallel]
 """
 
 import sys
-import time
 
-from repro.experiments import (
-    fig1_overclock_vs_static,
-    fig2_invalid_data,
-    fig3_broken_model,
-    fig4_delayed_predictions,
-    fig5_actuator_safeguard,
-    fig6_broken_model,
-    fig6_delayed_predictions,
-    fig6_invalid_data,
-    fig7_smartmemory_vs_static,
-    fig8_memory_safeguards,
-    table1_taxonomy,
-    table2_learning_agents,
-)
+from repro.experiments.driver import reproduce_all
+
+
+def _print_run(run):
+    print(run.result.render())
+    print(f"[{run.wall_seconds:.1f}s wall]\n", flush=True)
 
 
 def main():
-    quick = "--quick" in sys.argv
-    scale = 0.33 if quick else 1.0
-
-    experiments = [
-        (table1_taxonomy, {}),
-        (table2_learning_agents, {}),
-        (fig1_overclock_vs_static, {"seconds": int(900 * scale)}),
-        (fig2_invalid_data, {"seconds": int(600 * scale)}),
-        (fig3_broken_model, {"seconds": int(600 * scale)}),
-        (fig4_delayed_predictions, {"seconds": int(300 * scale) + 200}),
-        (fig5_actuator_safeguard, {"seconds": int(900 * scale)}),
-        (fig6_invalid_data, {"seconds": int(240 * scale)}),
-        (fig6_broken_model, {"seconds": int(240 * scale)}),
-        (fig6_delayed_predictions, {"seconds": int(240 * scale)}),
-        (fig7_smartmemory_vs_static, {"seconds": int(1500 * scale)}),
-        (fig8_memory_safeguards, {"seconds": int(920 * scale)}),
-    ]
-    for experiment, kwargs in experiments:
-        started = time.time()
-        result = experiment(**kwargs)
-        print(result.render())
-        print(f"[{time.time() - started:.1f}s wall]\n")
+    reproduce_all(
+        parallel="--parallel" in sys.argv,
+        scale=0.33 if "--quick" in sys.argv else 1.0,
+        on_result=_print_run,
+    )
 
 
 if __name__ == "__main__":

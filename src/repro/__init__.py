@@ -13,8 +13,13 @@ Package map:
 * :mod:`repro.ml` — from-scratch online learners.
 * :mod:`repro.agents` — SmartOverclock, SmartHarvest, SmartMemory.
 * :mod:`repro.workloads` — the evaluation workloads.
-* :mod:`repro.platform` — the paper's agent characterization data.
-* :mod:`repro.experiments` — regenerates every table and figure.
+* :mod:`repro.platform` — the paper's agent characterization data plus
+  the fleet hardware catalog.
+* :mod:`repro.experiments` — regenerates every table and figure; the
+  parallel driver (``FleetDriver``, ``reproduce_all``) lives here.
+* :mod:`repro.fleet` — multi-node fleets: heterogeneous simulated
+  nodes, each with its own kernel, RNG, workload, and agent.
+* :mod:`repro.cli` — the ``python -m repro`` command line.
 """
 
 from repro.core import (

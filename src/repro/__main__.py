@@ -1,0 +1,7 @@
+"""``python -m repro`` — the reproduction's command-line entry point."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,231 @@
+"""The ``python -m repro`` command line.
+
+Subcommands::
+
+    repro list                      # artifacts and agent kinds
+    repro run fig1 [fig2 ...]       # named table/figure reproductions
+    repro fleet --nodes 64 --agent overclock --workers 8
+    repro reproduce-all [--parallel] [--quick] [--emit-experiments PATH]
+
+``fleet`` prints a fleet-wide report ending in a content digest; runs
+with the same seed agree on the digest regardless of ``--workers``,
+which is how CI smoke-checks the sharding (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.driver import (
+    ARTIFACTS,
+    ArtifactRun,
+    FleetDriver,
+    reproduce_all,
+)
+from repro.fleet.config import AGENT_KINDS, FaultPlan, FleetConfig
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SOL reproduction driver (Wang et al., ASPLOS 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible artifacts")
+
+    run = sub.add_parser("run", help="reproduce named tables/figures")
+    run.add_argument(
+        "artifacts", nargs="+", choices=ARTIFACTS, metavar="ARTIFACT",
+        help=f"one of: {', '.join(ARTIFACTS)}",
+    )
+    run.add_argument(
+        "--quick", action="store_true",
+        help="shortened (less converged) durations",
+    )
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate a multi-node fleet of SOL agents"
+    )
+    fleet.add_argument("--nodes", type=int, default=16)
+    fleet.add_argument(
+        "--agent", default="overclock",
+        choices=AGENT_KINDS + ("mixed",),
+    )
+    fleet.add_argument("--workers", type=int, default=1)
+    fleet.add_argument(
+        "--seconds", type=int, default=120,
+        help="simulated seconds per node",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--rack-size", type=int, default=8,
+        help="nodes per rack (fault blast radius)",
+    )
+    fleet.add_argument(
+        "--fault-racks", default=None, metavar="R0,R1,...",
+        help="inject a correlated invalid-data burst into these racks",
+    )
+    fleet.add_argument("--fault-start", type=int, default=30,
+                       help="burst onset (simulated seconds)")
+    fleet.add_argument("--fault-duration", type=int, default=60,
+                       help="burst length (simulated seconds)")
+    fleet.add_argument("--fault-probability", type=float, default=0.9,
+                       help="per-read corruption chance inside the burst")
+
+    rall = sub.add_parser(
+        "reproduce-all", help="regenerate every table and figure"
+    )
+    rall.add_argument("--parallel", action="store_true",
+                      help="one artifact per worker process")
+    rall.add_argument("--workers", type=int, default=None)
+    rall.add_argument("--quick", action="store_true")
+    rall.add_argument(
+        "--emit-experiments", metavar="PATH", default=None,
+        help="also write the EXPERIMENTS.md measured-output tables",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print("artifacts:")
+    for name in ARTIFACTS:
+        print(f"  {name}")
+    print(f"fleet agent kinds: {', '.join(AGENT_KINDS + ('mixed',))}")
+    return 0
+
+
+def _print_run(run: ArtifactRun) -> None:
+    print(run.result.render())
+    print(f"[{run.wall_seconds:.1f}s wall]\n", flush=True)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = 0.33 if args.quick else 1.0
+    reproduce_all(scale=scale, only=args.artifacts, on_result=_print_run)
+    return 0
+
+
+def _parse_fault(args: argparse.Namespace) -> Optional[FaultPlan]:
+    if args.fault_racks is None:
+        return None
+    racks = tuple(int(r) for r in args.fault_racks.split(",") if r != "")
+    if not racks:
+        raise SystemExit("--fault-racks needs at least one rack index")
+    return FaultPlan(
+        racks=racks,
+        start_s=args.fault_start,
+        duration_s=args.fault_duration,
+        probability=args.fault_probability,
+    )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    config = FleetConfig(
+        n_nodes=args.nodes,
+        agent=args.agent,
+        seed=args.seed,
+        duration_s=args.seconds,
+        rack_size=args.rack_size,
+        fault=_parse_fault(args),
+    )
+    driver = FleetDriver(config, workers=args.workers)
+    started = time.perf_counter()
+    aggregate = driver.run()
+    wall = time.perf_counter() - started
+    print(aggregate.render())
+    # driver.workers, not args.workers: the pool is capped at n_nodes.
+    print(f"[{driver.workers} worker(s), {wall:.1f}s wall]")
+    return 0
+
+
+def _cmd_reproduce_all(args: argparse.Namespace) -> int:
+    if args.emit_experiments:
+        # Fail before the (minutes-long) run, not after it.
+        directory = os.path.dirname(
+            os.path.abspath(args.emit_experiments)
+        )
+        if not os.path.isdir(directory):
+            raise SystemExit(
+                f"repro: error: cannot write {args.emit_experiments}: "
+                f"{directory} is not a directory"
+            )
+    scale = 0.33 if args.quick else 1.0
+    started = time.perf_counter()
+    runs = reproduce_all(
+        parallel=args.parallel,
+        workers=args.workers,
+        scale=scale,
+        on_result=_print_run,
+    )
+    wall = time.perf_counter() - started
+    mode = "parallel" if args.parallel else "serial"
+    print(f"[reproduce-all: {len(runs)} artifacts, {mode}, "
+          f"{wall:.1f}s wall total]")
+    if args.emit_experiments:
+        text = render_experiments_markdown(runs, quick=args.quick)
+        with open(args.emit_experiments, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"[wrote {args.emit_experiments}]")
+    return 0
+
+
+def render_experiments_markdown(
+    runs: List[ArtifactRun], quick: bool = False
+) -> str:
+    """EXPERIMENTS.md-style measured-output tables for ``runs``."""
+    lines = [
+        "# Measured outputs",
+        "",
+        "Generated by `repro reproduce-all --emit-experiments`"
+        + (" (--quick pass)." if quick else " (full pass)."),
+        "",
+    ]
+    for run in runs:
+        result = run.result
+        lines.append(f"## {result.name}: {result.title}")
+        lines.append("")
+        lines.append("| " + " | ".join(result.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in result.columns) + "|")
+        for row in result.rows:
+            lines.append(
+                "| "
+                + " | ".join(
+                    result.format_cell(row.get(col))
+                    for col in result.columns
+                )
+                + " |"
+            )
+        for note in result.notes:
+            lines.append(f"\n*{note}*")
+        lines.append(f"\n`{run.wall_seconds:.1f}s wall`")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
+        if args.command == "reproduce-all":
+            return _cmd_reproduce_all(args)
+    except ValueError as error:
+        # Config validation (bad --nodes/--workers/--fault-* values):
+        # present it as a usage error, not a traceback.
+        raise SystemExit(f"repro: error: {error}")
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -18,6 +18,13 @@ Fig. 6    :func:`repro.experiments.harvest.fig6_invalid_data` /
 Fig. 7    :func:`repro.experiments.memory.fig7_smartmemory_vs_static`
 Fig. 8    :func:`repro.experiments.memory.fig8_memory_safeguards`
 ========  =====================================================
+
+:mod:`repro.experiments.driver` adds the parallel paths on top: a
+:class:`~repro.experiments.driver.FleetDriver` that shards multi-node
+fleets (:mod:`repro.fleet`) across worker processes, and
+:func:`~repro.experiments.driver.reproduce_all`, which regenerates the
+whole table above — one artifact per worker with ``parallel=True``.
+Both are exposed by the ``python -m repro`` command line.
 """
 
 from repro.experiments.common import (
@@ -26,6 +33,12 @@ from repro.experiments.common import (
     MemoryScenario,
     OverclockScenario,
     SloWatcher,
+)
+from repro.experiments.driver import (
+    ARTIFACTS,
+    ArtifactRun,
+    FleetDriver,
+    reproduce_all,
 )
 from repro.experiments.harvest import (
     fig6_broken_model,
@@ -46,7 +59,11 @@ from repro.experiments.overclock import (
 from repro.experiments.tables import table1_taxonomy, table2_learning_agents
 
 __all__ = [
+    "ARTIFACTS",
+    "ArtifactRun",
     "ExperimentResult",
+    "FleetDriver",
+    "reproduce_all",
     "HarvestScenario",
     "MemoryScenario",
     "OverclockScenario",

@@ -59,7 +59,7 @@ class ExperimentResult:
         widths = {
             col: max(
                 len(col),
-                *(len(self._fmt(row.get(col))) for row in self.rows),
+                *(len(self.format_cell(row.get(col))) for row in self.rows),
             )
             if self.rows
             else len(col)
@@ -75,7 +75,7 @@ class ExperimentResult:
         for row in self.rows:
             lines.append(
                 "  ".join(
-                    self._fmt(row.get(col)).ljust(widths[col])
+                    self.format_cell(row.get(col)).ljust(widths[col])
                     for col in self.columns
                 )
             )
@@ -84,7 +84,9 @@ class ExperimentResult:
         return "\n".join(lines)
 
     @staticmethod
-    def _fmt(value: Any) -> str:
+    def format_cell(value: Any) -> str:
+        """Render one cell the way :meth:`render` does (public for
+        alternative renderers, e.g. the CLI's markdown emitter)."""
         if value is None:
             return "-"
         if isinstance(value, float):

@@ -1,0 +1,217 @@
+"""Parallel experiment driver: shard fleets and reproductions over a pool.
+
+Two fan-outs live here (DESIGN.md §5):
+
+* :class:`FleetDriver` shards the nodes of a
+  :class:`~repro.fleet.config.FleetConfig` across a ``multiprocessing``
+  pool.  Because each node's spec and seed derive only from
+  ``(fleet seed, node_id)``, shard shape and completion order cannot
+  affect results; aggregates from ``workers=1`` and ``workers=N`` are
+  bit-identical (the tests pin this via
+  :meth:`~repro.fleet.aggregate.FleetAggregate.digest`).
+
+* :func:`reproduce_all` runs every paper table/figure — serially, or
+  with each artifact dispatched to its own worker.  Every experiment is
+  already deterministic given a seed, so the parallel path reproduces
+  the serial rows exactly; only wall-clock changes.
+
+Workers are plain processes; each imports :mod:`repro` afresh, so the
+pool works both with an installed package and with the ``src/``-path
+bootstrap (the initializer re-exports this process's ``sys.path``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import ExperimentResult
+from repro.fleet.aggregate import FleetAggregate
+from repro.fleet.config import FleetConfig
+from repro.fleet.node import NodeResult
+from repro.fleet.scenario import FleetScenario
+
+__all__ = [
+    "ARTIFACTS",
+    "ArtifactRun",
+    "FleetDriver",
+    "reproduce_all",
+]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits sys.path); fall back to spawn."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _init_worker(path: List[str]) -> None:
+    """Make ``repro`` importable in spawn-style workers."""
+    for entry in reversed(path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _run_shard(
+    payload: Tuple[FleetConfig, Tuple[int, ...]]
+) -> List[NodeResult]:
+    config, node_ids = payload
+    return FleetScenario(config).run(node_ids)
+
+
+class FleetDriver:
+    """Run a fleet across worker processes and aggregate the results.
+
+    Args:
+        config: the fleet to simulate.
+        workers: worker processes; ``1`` (or a one-node fleet) runs
+            in-process with no pool at all.
+    """
+
+    def __init__(self, config: FleetConfig, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.config = config
+        self.workers = min(workers, config.n_nodes)
+
+    def shards(self) -> List[Tuple[int, ...]]:
+        """Round-robin node-id shards, one per worker.
+
+        Round-robin (not contiguous chunks) spreads the heterogeneous
+        SKU/agent mix evenly, so no worker gets all the expensive
+        nodes.
+        """
+        return [
+            tuple(range(w, self.config.n_nodes, self.workers))
+            for w in range(self.workers)
+        ]
+
+    def run(self) -> FleetAggregate:
+        """Simulate the whole fleet and return the aggregate."""
+        if self.workers == 1:
+            return FleetScenario(self.config).run_fleet()
+        context = _pool_context()
+        payloads = [(self.config, shard) for shard in self.shards()]
+        with context.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        ) as pool:
+            shard_results = pool.map(_run_shard, payloads)
+        results = [r for shard in shard_results for r in shard]
+        return FleetAggregate.from_results(results)
+
+
+# -- reproduce-all ----------------------------------------------------------
+
+#: Artifact registry: name -> (callable, kwargs builder).  The kwargs
+#: builder takes the duration scale (1.0 full, ~0.33 for --quick) and
+#: returns the experiment's arguments — the same values
+#: ``examples/reproduce_paper.py`` has always used.
+ARTIFACT_SPECS: Dict[str, Tuple[str, Callable[[float], Dict[str, Any]]]] = {
+    "table1": ("tables.table1_taxonomy", lambda s: {}),
+    "table2": ("tables.table2_learning_agents", lambda s: {}),
+    "fig1": ("overclock.fig1_overclock_vs_static",
+             lambda s: {"seconds": int(900 * s)}),
+    "fig2": ("overclock.fig2_invalid_data",
+             lambda s: {"seconds": int(600 * s)}),
+    "fig3": ("overclock.fig3_broken_model",
+             lambda s: {"seconds": int(600 * s)}),
+    "fig4": ("overclock.fig4_delayed_predictions",
+             lambda s: {"seconds": int(300 * s) + 200}),
+    "fig5": ("overclock.fig5_actuator_safeguard",
+             lambda s: {"seconds": int(900 * s)}),
+    "fig6-left": ("harvest.fig6_invalid_data",
+                  lambda s: {"seconds": int(240 * s)}),
+    "fig6-middle": ("harvest.fig6_broken_model",
+                    lambda s: {"seconds": int(240 * s)}),
+    "fig6-right": ("harvest.fig6_delayed_predictions",
+                   lambda s: {"seconds": int(240 * s)}),
+    "fig7": ("memory.fig7_smartmemory_vs_static",
+             lambda s: {"seconds": int(1500 * s)}),
+    "fig8": ("memory.fig8_memory_safeguards",
+             lambda s: {"seconds": int(920 * s)}),
+}
+
+#: Canonical artifact order (paper order).
+ARTIFACTS: Tuple[str, ...] = tuple(ARTIFACT_SPECS)
+
+
+def _resolve(path: str) -> Callable[..., ExperimentResult]:
+    module_name, func_name = path.rsplit(".", 1)
+    module = __import__(
+        f"repro.experiments.{module_name}", fromlist=[func_name]
+    )
+    return getattr(module, func_name)
+
+
+@dataclass
+class ArtifactRun:
+    """One reproduced artifact plus its wall time."""
+
+    name: str
+    result: ExperimentResult
+    wall_seconds: float
+
+
+def _run_artifact(payload: Tuple[str, float]) -> ArtifactRun:
+    name, scale = payload
+    path, kwargs_builder = ARTIFACT_SPECS[name]
+    started = time.perf_counter()
+    result = _resolve(path)(**kwargs_builder(scale))
+    return ArtifactRun(name, result, time.perf_counter() - started)
+
+
+def reproduce_all(
+    parallel: bool = False,
+    workers: Optional[int] = None,
+    scale: float = 1.0,
+    only: Optional[Sequence[str]] = None,
+    on_result: Optional[Callable[[ArtifactRun], None]] = None,
+) -> List[ArtifactRun]:
+    """Regenerate every table and figure, serially or sharded.
+
+    Args:
+        parallel: dispatch one artifact per worker process.
+        workers: pool size (default: CPU count, capped at the number of
+            artifacts).
+        scale: duration scale; ``~0.33`` is the ``--quick`` pass.
+        only: restrict to these artifact names (canonical order kept).
+        on_result: called with each run as soon as it is available, in
+            canonical order — lets callers stream output during a
+            minutes-long full pass instead of printing at the end.
+
+    Returns:
+        Runs in canonical (paper) order regardless of completion order.
+    """
+    names = [n for n in ARTIFACTS if only is None or n in only]
+    unknown = set(only or ()) - set(ARTIFACTS)
+    if unknown:
+        raise ValueError(f"unknown artifacts: {sorted(unknown)}")
+    payloads = [(name, scale) for name in names]
+    runs: List[ArtifactRun] = []
+    if not parallel or len(names) <= 1:
+        for payload in payloads:
+            runs.append(_run_artifact(payload))
+            if on_result is not None:
+                on_result(runs[-1])
+        return runs
+    pool_size = min(workers or os.cpu_count() or 1, len(names))
+    context = _pool_context()
+    with context.Pool(
+        processes=pool_size,
+        initializer=_init_worker,
+        initargs=(list(sys.path),),
+    ) as pool:
+        # imap preserves payload (canonical) order and yields each run
+        # as soon as it — and everything before it — has finished.
+        for run in pool.imap(_run_artifact, payloads):
+            runs.append(run)
+            if on_result is not None:
+                on_result(run)
+    return runs

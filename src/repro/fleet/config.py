@@ -1,0 +1,176 @@
+"""Fleet configuration: node specs derived deterministically from a seed.
+
+The key property (DESIGN.md §5): every per-node decision — SKU, agent
+kind, workload, RNG seed — is a pure function of ``(fleet seed,
+node_id)``.  Sharding the fleet across worker processes therefore cannot
+change any node's simulation, and fleet aggregates are bit-identical no
+matter how many workers run them or in what order shards complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.platform.taxonomy import NODE_SKUS, NodeSku
+from repro.sim.rng import stable_hash
+
+__all__ = ["AGENT_KINDS", "FaultPlan", "FleetConfig", "NodeSpec"]
+
+#: Agent kinds a fleet node can run ("mixed" draws one per node).
+AGENT_KINDS: Tuple[str, ...] = ("overclock", "harvest", "memory")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A correlated invalid-data burst across whole racks.
+
+    Models a rack-level telemetry failure (bad firmware push, broken
+    ToR-switch counter relay): every node in the affected racks starts
+    receiving corrupt model inputs at the same simulated instant, for
+    the same duration — the fleet-scale version of the paper's Figure
+    2/6 invalid-data experiments.
+
+    Attributes:
+        racks: rack indices the burst hits.
+        start_s: burst onset, seconds of simulated time.
+        duration_s: burst length in seconds.
+        probability: chance each read inside the window is corrupted.
+    """
+
+    racks: Tuple[int, ...] = (0,)
+    start_s: int = 30
+    duration_s: int = 60
+    probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("burst window must have positive extent")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """The fully-resolved plan for one simulated node."""
+
+    node_id: int
+    rack: int
+    sku: NodeSku
+    agent: str
+    workload: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one fleet experiment.
+
+    Attributes:
+        n_nodes: number of simulated nodes.
+        agent: agent kind every node runs, or ``"mixed"``.
+        seed: fleet master seed; all per-node seeds derive from it.
+        duration_s: simulated seconds each node runs.
+        rack_size: nodes per rack (rack = blast radius of FaultPlan).
+        fault: optional correlated-burst injection plan.
+    """
+
+    n_nodes: int
+    agent: str = "overclock"
+    seed: int = 0
+    duration_s: int = 120
+    rack_size: int = 8
+    fault: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if self.rack_size <= 0:
+            raise ValueError("rack_size must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.agent not in AGENT_KINDS + ("mixed",):
+            raise ValueError(
+                f"agent must be one of {AGENT_KINDS + ('mixed',)}, "
+                f"got {self.agent!r}"
+            )
+        if self.fault is not None:
+            # A plan that cannot touch any node is a config mistake, not
+            # a degenerate experiment — fail it loudly.
+            bad_racks = [
+                r for r in self.fault.racks
+                if not 0 <= r < self.n_racks
+            ]
+            if bad_racks:
+                raise ValueError(
+                    f"fault racks {bad_racks} outside fleet "
+                    f"(has racks 0..{self.n_racks - 1})"
+                )
+            if self.fault.start_s >= self.duration_s:
+                raise ValueError(
+                    f"fault starts at {self.fault.start_s}s but nodes "
+                    f"only run {self.duration_s}s"
+                )
+
+    @property
+    def n_racks(self) -> int:
+        return -(-self.n_nodes // self.rack_size)
+
+    def node_spec(self, node_id: int) -> NodeSpec:
+        """Resolve one node's plan from ``(seed, node_id)`` alone."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node_id {node_id} outside fleet")
+        rng = _node_plan_rng(self.seed, node_id)
+        weights = np.array([sku.weight for sku in NODE_SKUS])
+        sku = NODE_SKUS[
+            int(rng.choice(len(NODE_SKUS), p=weights / weights.sum()))
+        ]
+        agent = self.agent
+        if agent == "mixed":
+            agent = AGENT_KINDS[int(rng.choice(len(AGENT_KINDS)))]
+        workload = _WORKLOADS_BY_AGENT[agent][
+            int(rng.choice(len(_WORKLOADS_BY_AGENT[agent])))
+        ]
+        return NodeSpec(
+            node_id=node_id,
+            rack=node_id // self.rack_size,
+            sku=sku,
+            agent=agent,
+            workload=workload,
+            seed=node_seed(self.seed, node_id),
+        )
+
+    def node_specs(self) -> Tuple[NodeSpec, ...]:
+        """All node plans, in node-id order."""
+        return tuple(self.node_spec(i) for i in range(self.n_nodes))
+
+    def fault_window_us(self) -> Optional[Tuple[int, int]]:
+        """The burst's ``(start_us, end_us)``, or ``None`` if no fault."""
+        if self.fault is None:
+            return None
+        start = self.fault.start_s * 1_000_000
+        return start, start + self.fault.duration_s * 1_000_000
+
+
+#: Workload choices per agent kind; names match the experiment
+#: registries (``CPU_WORKLOADS``, ``TAILBENCH_WORKLOADS``,
+#: ``MEMORY_TRACES``).
+_WORKLOADS_BY_AGENT = {
+    "overclock": ("Synthetic", "ObjectStore", "DiskSpeed"),
+    "harvest": ("image-dnn", "moses"),
+    "memory": ("ObjectStore", "SQL", "SpecJBB"),
+}
+
+
+def node_seed(fleet_seed: int, node_id: int) -> int:
+    """The RNG seed for one node: independent of sharding by design."""
+    return (fleet_seed << 32) ^ stable_hash(f"fleet.node.{node_id}")
+
+
+def _node_plan_rng(fleet_seed: int, node_id: int) -> np.random.Generator:
+    sequence = np.random.SeedSequence(
+        entropy=fleet_seed, spawn_key=(stable_hash(f"fleet.plan.{node_id}"),)
+    )
+    return np.random.default_rng(sequence)

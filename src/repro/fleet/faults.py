@@ -1,0 +1,82 @@
+"""Fleet-level fault plumbing: time-windowed, rack-correlated injection.
+
+The single-node fault injectors in :mod:`repro.node.faults` corrupt
+every read for a whole run.  At fleet scale the interesting failure is
+*correlated and transient* — a bad telemetry rollout hits every node of
+a rack at once, then gets rolled back.  :func:`windowed` wraps any
+injector so it only fires inside a simulated time window, and
+:func:`attach_burst` wires the right injector for each agent kind.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, TypeVar
+
+from repro.node.faults import bad_ips_injector, stuck_usage_injector
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngStreams
+
+__all__ = ["attach_burst", "windowed"]
+
+T = TypeVar("T")
+
+
+def windowed(
+    kernel: Kernel,
+    inner: Callable[[T], T],
+    window_us: Tuple[int, int],
+) -> Callable[[T], T]:
+    """Apply ``inner`` only while sim time is inside ``[start, end)``."""
+    start_us, end_us = window_us
+    if end_us <= start_us:
+        raise ValueError("fault window must have positive extent")
+
+    def inject(value: T) -> T:
+        if start_us <= kernel.now < end_us:
+            return inner(value)
+        return value
+
+    return inject
+
+
+def attach_burst(
+    kernel: Kernel,
+    agent_kind: str,
+    agent: object,
+    streams: RngStreams,
+    window_us: Tuple[int, int],
+    probability: float,
+) -> None:
+    """Attach this node's share of a rack-wide invalid-data burst.
+
+    Each agent kind has a different telemetry boundary, so the burst
+    enters at a different point:
+
+    * ``overclock`` — out-of-range IPS readings at the counter reader
+      (Figure 2's fault, time-limited);
+    * ``harvest`` — stuck usage-sample sentinels at the model input
+      (Figure 6-left's fault);
+    * ``memory`` — access-bit scan faults in the page-table walker,
+      raised for the window then restored.
+    """
+    rng = streams.get("fleet.fault")
+    if agent_kind == "overclock":
+        agent.reader.add_injector(
+            windowed(kernel, bad_ips_injector(rng, probability), window_us)
+        )
+    elif agent_kind == "harvest":
+        agent.model.injectors.append(
+            windowed(kernel, stuck_usage_injector(rng, probability), window_us)
+        )
+    elif agent_kind == "memory":
+        memory = agent.actuator.memory
+        start_us, end_us = window_us
+        kernel.call_at(
+            start_us,
+            lambda: memory.set_scan_fault_probability(probability),
+        )
+        kernel.call_at(
+            end_us, lambda: memory.set_scan_fault_probability(0.0)
+        )
+    else:  # pragma: no cover - config validation rejects this earlier
+        raise ValueError(f"unknown agent kind {agent_kind!r}")

@@ -1,10 +1,16 @@
-"""Production-platform characterization data (paper §2, Tables 1-2)."""
+"""Production-platform characterization data (paper §2, Tables 1-2).
+
+Also home of the fleet hardware catalog (:data:`NODE_SKUS`) that
+:mod:`repro.fleet` provisions simulated nodes from.
+"""
 
 from repro.platform.taxonomy import (
+    NODE_SKUS,
     TABLE1_TAXONOMY,
     TABLE2_LEARNING_AGENTS,
     AgentClass,
     LearningAgentExample,
+    NodeSku,
     learning_beneficiary_fraction,
     render_table1,
     render_table2,
@@ -13,6 +19,8 @@ from repro.platform.taxonomy import (
 __all__ = [
     "AgentClass",
     "LearningAgentExample",
+    "NodeSku",
+    "NODE_SKUS",
     "TABLE1_TAXONOMY",
     "TABLE2_LEARNING_AGENTS",
     "learning_beneficiary_fraction",

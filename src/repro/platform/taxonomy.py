@@ -15,6 +15,8 @@ from typing import List, Tuple
 __all__ = [
     "AgentClass",
     "LearningAgentExample",
+    "NodeSku",
+    "NODE_SKUS",
     "TABLE1_TAXONOMY",
     "TABLE2_LEARNING_AGENTS",
     "learning_beneficiary_fraction",
@@ -110,6 +112,45 @@ TABLE2_LEARNING_AGENTS: Tuple[LearningAgentExample, ...] = (
         "Warm/cold page ID", "100 ms", "Page table scans",
         "Multi-armed bandits",
     ),
+)
+
+
+@dataclass(frozen=True)
+class NodeSku:
+    """One hardware generation/SKU a fleet node can be provisioned as.
+
+    The paper's platform runs agents "on each server node of a cloud
+    platform" (§1) — a population of heterogeneous machines spanning
+    several hardware generations.  :mod:`repro.fleet` draws each
+    simulated node's CPU and memory shape from this catalog.
+
+    Attributes:
+        name: SKU identifier.
+        n_cores: cores in the node's frequency domain.
+        nominal_freq_ghz: the safe frequency safeguards restore.
+        max_freq_ghz: overclocking ceiling.
+        max_ipc: instructions/cycle of a fully CPU-bound workload.
+        memory_regions: 2 MB regions of VM memory (512 ≈ 1 GB).
+        weight: relative share of the fleet population.
+    """
+
+    name: str
+    n_cores: int
+    nominal_freq_ghz: float
+    max_freq_ghz: float
+    max_ipc: float
+    memory_regions: int
+    weight: float
+
+
+#: The fleet's hardware mix.  The "gen5" row matches the single-node
+#: experiment CPU (1.5 GHz nominal, 2.3 GHz ceiling, §6.2) so a
+#: one-node fleet degenerates to the paper's setup.
+NODE_SKUS: Tuple[NodeSku, ...] = (
+    NodeSku("gen5-general", 8, 1.5, 2.3, 4.0, 256, 0.50),
+    NodeSku("gen6-compute", 16, 2.0, 2.8, 4.0, 256, 0.25),
+    NodeSku("gen4-memory", 8, 1.2, 1.8, 3.0, 512, 0.15),
+    NodeSku("gen6-dense", 24, 1.8, 2.4, 4.0, 384, 0.10),
 )
 
 

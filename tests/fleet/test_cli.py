@@ -1,0 +1,68 @@
+"""The ``python -m repro`` command line, driven in-process."""
+
+import pytest
+
+from repro.cli import main, render_experiments_markdown
+from repro.experiments.driver import reproduce_all
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out and "table2" in out and "mixed" in out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Taxonomy of production agents" in out
+    assert "35%" in out
+
+
+def test_fleet_smoke(capsys):
+    assert main(
+        ["fleet", "--nodes", "2", "--seconds", "10", "--workers", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "== fleet: 2 nodes × 10s simulated ==" in out
+    assert "digest:" in out
+
+
+def test_fleet_same_seed_same_digest_across_workers(capsys):
+    args = ["fleet", "--nodes", "4", "--seconds", "10", "--seed", "5"]
+    main(args + ["--workers", "1"])
+    first = capsys.readouterr().out
+    main(args + ["--workers", "2"])
+    second = capsys.readouterr().out
+    digest = [l for l in first.splitlines() if l.startswith("digest:")]
+    assert digest == [
+        l for l in second.splitlines() if l.startswith("digest:")
+    ]
+
+
+def test_fleet_fault_flags(capsys):
+    assert main(
+        ["fleet", "--nodes", "2", "--seconds", "15", "--rack-size", "1",
+         "--fault-racks", "0", "--fault-start", "2",
+         "--fault-duration", "8"]
+    ) == 0
+    assert "digest:" in capsys.readouterr().out
+
+
+def test_fleet_rejects_bad_fault_racks():
+    with pytest.raises(SystemExit):
+        main(["fleet", "--nodes", "2", "--fault-racks", ","])
+
+
+def test_run_rejects_unknown_artifact(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_experiments_markdown_rendering():
+    runs = reproduce_all(only=["table1"])
+    text = render_experiments_markdown(runs, quick=True)
+    assert text.startswith("# Measured outputs")
+    assert "## table1" in text
+    assert "| class |" in text
+    assert "--quick" in text

@@ -1,0 +1,69 @@
+"""FleetDriver: serial/parallel equivalence and shard-order invariance.
+
+These are the PR's headline guarantees: the same seed produces
+bit-identical fleet aggregates whether nodes run in one process, across
+a pool, or in shuffled order (DESIGN.md §5).
+"""
+
+import random
+
+from repro.experiments.driver import FleetDriver, reproduce_all
+from repro.fleet.aggregate import FleetAggregate
+from repro.fleet.config import FleetConfig
+from repro.fleet.scenario import FleetScenario
+
+CONFIG = FleetConfig(n_nodes=6, agent="overclock", seed=11, duration_s=20)
+
+
+def test_serial_and_parallel_aggregates_are_bit_identical():
+    serial = FleetDriver(CONFIG, workers=1).run()
+    parallel = FleetDriver(CONFIG, workers=2).run()
+    assert serial.digest() == parallel.digest()
+    assert serial.as_dict() == parallel.as_dict()
+
+
+def test_aggregate_is_invariant_under_shuffled_shard_order():
+    scenario = FleetScenario(CONFIG)
+    ordered = scenario.run(range(CONFIG.n_nodes))
+    shuffled_ids = list(range(CONFIG.n_nodes))
+    random.Random(3).shuffle(shuffled_ids)
+    shuffled = scenario.run(shuffled_ids)
+    assert (
+        FleetAggregate.from_results(ordered).digest()
+        == FleetAggregate.from_results(shuffled).digest()
+    )
+
+
+def test_per_node_results_identical_across_shardings():
+    serial = {r.node_id: r for r in FleetScenario(CONFIG).run()}
+    driver = FleetDriver(CONFIG, workers=3)
+    parallel = {
+        r.node_id: r for r in FleetDriver(CONFIG, workers=3).run().results
+    }
+    assert serial == parallel
+    # shards partition the fleet
+    flat = sorted(i for shard in driver.shards() for i in shard)
+    assert flat == list(range(CONFIG.n_nodes))
+
+
+def test_workers_capped_at_fleet_size():
+    driver = FleetDriver(FleetConfig(n_nodes=2, duration_s=5), workers=64)
+    assert driver.workers == 2
+
+
+def test_reproduce_all_parallel_matches_serial_rows():
+    only = ["table1", "table2"]
+    serial = reproduce_all(only=only)
+    parallel = reproduce_all(parallel=True, workers=2, only=only)
+    assert [run.name for run in serial] == only
+    assert [run.name for run in parallel] == only
+    for s, p in zip(serial, parallel):
+        assert s.result.rows == p.result.rows
+        assert s.result.columns == p.result.columns
+
+
+def test_reproduce_all_rejects_unknown_artifacts():
+    import pytest
+
+    with pytest.raises(ValueError):
+        reproduce_all(only=["fig99"])
