@@ -6,6 +6,7 @@ Subcommands::
     repro run fig1 [fig2 ...]       # named table/figure reproductions
     repro fleet --nodes 64 --agent overclock --workers 8
     repro reproduce-all [--parallel] [--quick] [--emit-experiments PATH]
+    repro bench [--quick] [--output PATH] [--check-against PATH]
 
 ``fleet`` prints a fleet-wide report ending in a content digest; runs
 with the same seed agree on the digest regardless of ``--workers``,
@@ -89,6 +90,35 @@ def _build_parser() -> argparse.ArgumentParser:
     rall.add_argument(
         "--emit-experiments", metavar="PATH", default=None,
         help="also write the EXPERIMENTS.md measured-output tables",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="kernel microbenchmarks + end-to-end timings "
+             "(vs the frozen seed kernel)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller microbenchmarks, skip the end-to-end section "
+             "(speedup ratios stay comparable)",
+    )
+    bench.add_argument(
+        "--output", metavar="PATH", default="BENCH_kernel.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--check-against", metavar="PATH", default=None,
+        help="compare speedups to a committed baseline report and exit "
+             "non-zero on regression",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional speedup drop vs the baseline "
+             "(default: %(default)s)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N repeats per microbenchmark (default: %(default)s)",
     )
     return parser
 
@@ -209,6 +239,36 @@ def render_experiments_markdown(
     return "\n".join(lines)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf import (
+        build_report,
+        compare_reports,
+        render_report,
+        write_report,
+    )
+
+    if args.repeats < 1:
+        raise SystemExit("repro: error: --repeats must be >= 1")
+    report = build_report(quick=args.quick, repeats=args.repeats)
+    print(render_report(report))
+    write_report(report, args.output)
+    print(f"[wrote {args.output}]")
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = compare_reports(
+            report, baseline, max_regression=args.max_regression
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"[no regression vs {args.check_against}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -220,6 +280,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fleet(args)
         if args.command == "reproduce-all":
             return _cmd_reproduce_all(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except ValueError as error:
         # Config validation (bad --nodes/--workers/--fault-* values):
         # present it as a usage error, not a traceback.

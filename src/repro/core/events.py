@@ -5,13 +5,34 @@ interceptions, timeouts, safeguard transitions, mitigations, cleanups —
 is recorded as a :class:`RuntimeEvent`.  The experiment harness and the
 test suite assert on this log instead of poking runtime internals,
 mirroring how production SREs would consume an agent's telemetry.
+
+Log modes (DESIGN.md §6)
+------------------------
+Constructing a :class:`RuntimeEvent` per occurrence is pure overhead for
+consumers that only ever read aggregates — which is every fleet run: a
+:class:`~repro.fleet.node.NodeResult` needs counters and the action
+histogram, never individual events.  :class:`EventLog` therefore has two
+modes:
+
+* ``"full"`` (default) — append every event; all query helpers work.
+  Tests and single-node experiments use this.
+* ``"counts"`` — keep only per-kind counters plus the detail-derived
+  aggregates the runtime reports (default-prediction count, action
+  provenance histogram), and a small ring buffer of the most recent
+  events for post-mortem debugging.  ``record`` allocates nothing but
+  the kwargs dict; per-event queries (:meth:`of_kind`, iteration) are
+  unavailable.
+
+Both modes produce identical counter values, so results and digests are
+unaffected by the mode — the determinism tests pin this.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 from repro.sim.kernel import Kernel
 
@@ -56,16 +77,59 @@ class RuntimeEvent:
         return f"[{self.time_us:>12}us] {self.agent} {self.kind.value} {extras}"
 
 
-class EventLog:
-    """Append-only log with query helpers used by tests and experiments."""
+#: Ring-buffer depth kept in ``"counts"`` mode for debugging.
+RING_SIZE = 64
 
-    def __init__(self, kernel: Kernel, agent: str) -> None:
+
+class EventLog:
+    """Runtime telemetry sink with query helpers for tests and experiments.
+
+    Args:
+        kernel: owning kernel (timestamps).
+        agent: agent name stamped on events.
+        mode: ``"full"`` (append-only event list, all queries) or
+            ``"counts"`` (aggregates + a :data:`RING_SIZE`-event ring
+            buffer; see module docstring).
+    """
+
+    def __init__(self, kernel: Kernel, agent: str, mode: str = "full") -> None:
+        if mode not in ("full", "counts"):
+            raise ValueError(f"unknown log mode {mode!r}")
         self.kernel = kernel
         self.agent = agent
+        self.mode = mode
         self._events: List[RuntimeEvent] = []
+        # counts mode keeps raw (time_us, kind, details) tuples and only
+        # materializes RuntimeEvents lazily in recent()/last(), so the
+        # hot path truly allocates nothing beyond the kwargs dict.
+        self._ring: Optional[Deque[tuple]] = None
+        self._counts: Dict[EventKind, int] = {}
+        self._default_sent = 0
+        self._actions = {"model": 0, "default": 0, "none": 0}
+        if mode == "counts":
+            self._ring = deque(maxlen=RING_SIZE)
 
-    def record(self, kind: EventKind, **details: Any) -> RuntimeEvent:
-        """Append an event stamped with the current simulation time."""
+    def record(self, kind: EventKind, **details: Any) -> Optional[RuntimeEvent]:
+        """Record an occurrence stamped with the current simulation time.
+
+        Returns the :class:`RuntimeEvent` in ``"full"`` mode, ``None`` in
+        ``"counts"`` mode (where no event object is built on the hot
+        path except for the sampled ring buffer).
+        """
+        counts = self._counts
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind is EventKind.ACTUATION:
+            if not details.get("has_prediction"):
+                self._actions["none"] += 1
+            elif details.get("is_default"):
+                self._actions["default"] += 1
+            else:
+                self._actions["model"] += 1
+        elif kind is EventKind.PREDICTION_SENT and details.get("is_default"):
+            self._default_sent += 1
+        if self._ring is not None:
+            self._ring.append((self.kernel.now, kind, details))
+            return None
         event = RuntimeEvent(
             time_us=self.kernel.now, kind=kind, agent=self.agent,
             details=details,
@@ -74,29 +138,77 @@ class EventLog:
         return event
 
     def __len__(self) -> int:
+        if self.mode == "counts":
+            return sum(self._counts.values())
         return len(self._events)
 
     def __iter__(self) -> Iterator[RuntimeEvent]:
+        self._require_full("iterate over events")
         return iter(self._events)
 
     def of_kind(self, kind: EventKind) -> List[RuntimeEvent]:
-        """All events of one kind, in time order."""
+        """All events of one kind, in time order (``"full"`` mode only)."""
+        self._require_full("query events by kind")
         return [event for event in self._events if event.kind is kind]
 
     def count(self, kind: EventKind) -> int:
-        """Number of events of one kind."""
-        return sum(1 for event in self._events if event.kind is kind)
+        """Number of events of one kind (works in both modes)."""
+        return self._counts.get(kind, 0)
 
     def last(self, kind: EventKind) -> Optional[RuntimeEvent]:
-        """Most recent event of one kind, or ``None``."""
+        """Most recent event of one kind, or ``None``.
+
+        In ``"counts"`` mode this searches only the ring buffer of
+        recent events (best effort, for debugging).
+        """
+        if self._ring is not None:
+            for time_us, ring_kind, details in reversed(self._ring):
+                if ring_kind is kind:
+                    return RuntimeEvent(
+                        time_us=time_us, kind=kind, agent=self.agent,
+                        details=details,
+                    )
+            return None
         for event in reversed(self._events):
             if event.kind is kind:
                 return event
         return None
 
+    def recent(self) -> List[RuntimeEvent]:
+        """The retained tail of the log (everything in ``"full"`` mode)."""
+        if self._ring is not None:
+            return [
+                RuntimeEvent(
+                    time_us=time_us, kind=kind, agent=self.agent,
+                    details=details,
+                )
+                for time_us, kind, details in self._ring
+            ]
+        return list(self._events)
+
     def summary(self) -> Dict[str, int]:
         """Event counts by kind (stable keys for experiment reports)."""
-        counts: Dict[str, int] = {}
-        for event in self._events:
-            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
-        return counts
+        return {kind.value: n for kind, n in self._counts.items()}
+
+    # -- detail-derived aggregates (available in both modes) ---------------
+
+    def default_predictions_sent(self) -> int:
+        """``PREDICTION_SENT`` events whose prediction was a default."""
+        return self._default_sent
+
+    def action_histogram(self) -> Dict[str, int]:
+        """``ACTUATION`` events bucketed by prediction provenance.
+
+        Keys: ``"model"`` (a live model prediction), ``"default"`` (a
+        default/fallback prediction), ``"none"`` (acted without any
+        prediction — timeout or expiry path).
+        """
+        return dict(self._actions)
+
+    def _require_full(self, what: str) -> None:
+        if self.mode != "full":
+            raise RuntimeError(
+                f"cannot {what}: this EventLog runs in {self.mode!r} mode "
+                "and keeps only aggregates (construct the runtime with "
+                "log_mode='full' for per-event queries)"
+            )

@@ -54,6 +54,11 @@ class SolRuntime:
         model_delays: optional scheduling-delay injector for the Model
             loop (reproduces host-side throttling).
         actuator_delays: optional delay injector for the Actuator loop.
+        log_mode: ``"full"`` keeps every runtime event (tests, single-node
+            experiments); ``"counts"`` keeps only the aggregates
+            :meth:`stats` reports, skipping per-event construction on the
+            hot path (fleet runs).  Counter values are identical either
+            way.
     """
 
     def __init__(
@@ -66,6 +71,7 @@ class SolRuntime:
         policy: SafeguardPolicy = SafeguardPolicy.all_enabled(),
         model_delays: Optional[DelayInjector] = None,
         actuator_delays: Optional[DelayInjector] = None,
+        log_mode: str = "full",
     ) -> None:
         self.kernel = kernel
         self.model = model
@@ -79,7 +85,7 @@ class SolRuntime:
         self.queue: SimQueue = SimQueue(
             kernel, capacity=1, name=f"{name}.predictions"
         )
-        self.log = EventLog(kernel, agent=name)
+        self.log = EventLog(kernel, agent=name, mode=log_mode)
         self.model_safeguard = SafeguardState(kernel, f"{name}.model")
         self.actuator_safeguard = SafeguardState(kernel, f"{name}.actuator")
 
@@ -130,13 +136,10 @@ class SolRuntime:
 
     def stats(self) -> Dict[str, Any]:
         """Counters the experiments and tests report on."""
-        sent = self.log.of_kind(EventKind.PREDICTION_SENT)
         return {
             "epochs": self.epochs,
-            "predictions_sent": len(sent),
-            "default_predictions": sum(
-                1 for event in sent if event.details.get("is_default")
-            ),
+            "predictions_sent": self.log.count(EventKind.PREDICTION_SENT),
+            "default_predictions": self.log.default_predictions_sent(),
             "validation_failures": self.log.count(EventKind.VALIDATION_FAILED),
             "interceptions": self.log.count(EventKind.PREDICTION_INTERCEPTED),
             "short_circuits": self.log.count(EventKind.EPOCH_SHORT_CIRCUIT),

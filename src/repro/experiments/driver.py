@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import ExperimentResult
-from repro.fleet.aggregate import FleetAggregate
+from repro.fleet.aggregate import FleetAggregate, FleetAggregateBuilder
 from repro.fleet.config import FleetConfig
 from repro.fleet.node import NodeResult
 from repro.fleet.scenario import FleetScenario
@@ -84,27 +84,54 @@ class FleetDriver:
 
         Round-robin (not contiguous chunks) spreads the heterogeneous
         SKU/agent mix evenly, so no worker gets all the expensive
-        nodes.
+        nodes.  Kept as the coarse partition; :meth:`chunks` subdivides
+        it for work-stealing-style dispatch.
         """
         return [
             tuple(range(w, self.config.n_nodes, self.workers))
             for w in range(self.workers)
         ]
 
+    def chunks(self) -> List[Tuple[int, ...]]:
+        """Node-id chunks sized for ``imap_unordered`` dispatch.
+
+        Several small chunks per worker (rather than one shard each)
+        keep the pool busy when node costs are skewed — a straggler
+        holds back only its own chunk, and idle workers pull the
+        remaining chunks instead of waiting.  Chunks subdivide the
+        round-robin shards, preserving the even SKU/agent spread.
+        """
+        per_shard = max(1, min(4, self.config.n_nodes // self.workers))
+        chunks: List[Tuple[int, ...]] = []
+        for shard in self.shards():
+            step = max(1, -(-len(shard) // per_shard))
+            chunks.extend(
+                shard[i:i + step] for i in range(0, len(shard), step)
+            )
+        return chunks
+
     def run(self) -> FleetAggregate:
-        """Simulate the whole fleet and return the aggregate."""
+        """Simulate the whole fleet and return the aggregate.
+
+        The parallel path streams each finished chunk into a
+        :class:`FleetAggregateBuilder` as it lands (completion order is
+        irrelevant — the reduction is order-independent and the builder
+        canonicalizes node order), so no per-shard result lists are
+        materialized and aggregation overlaps the remaining simulation.
+        """
         if self.workers == 1:
             return FleetScenario(self.config).run_fleet()
         context = _pool_context()
-        payloads = [(self.config, shard) for shard in self.shards()]
+        payloads = [(self.config, chunk) for chunk in self.chunks()]
+        builder = FleetAggregateBuilder()
         with context.Pool(
             processes=self.workers,
             initializer=_init_worker,
             initargs=(list(sys.path),),
         ) as pool:
-            shard_results = pool.map(_run_shard, payloads)
-        results = [r for shard in shard_results for r in shard]
-        return FleetAggregate.from_results(results)
+            for chunk_results in pool.imap_unordered(_run_shard, payloads):
+                builder.add_many(chunk_results)
+        return builder.build()
 
 
 # -- reproduce-all ----------------------------------------------------------
@@ -208,10 +235,18 @@ def reproduce_all(
         initializer=_init_worker,
         initargs=(list(sys.path),),
     ) as pool:
-        # imap preserves payload (canonical) order and yields each run
-        # as soon as it — and everything before it — has finished.
-        for run in pool.imap(_run_artifact, payloads):
-            runs.append(run)
-            if on_result is not None:
-                on_result(run)
+        # imap_unordered so a straggler (fig7 dominates the full pass)
+        # never idles the pool behind canonical order; completed runs
+        # are buffered and re-emitted in canonical order as their turn
+        # comes, which keeps the on_result streaming contract.
+        completed: Dict[str, ArtifactRun] = {}
+        emit_index = 0
+        for run in pool.imap_unordered(_run_artifact, payloads):
+            completed[run.name] = run
+            while emit_index < len(names) and names[emit_index] in completed:
+                ready = completed.pop(names[emit_index])
+                emit_index += 1
+                runs.append(ready)
+                if on_result is not None:
+                    on_result(ready)
     return runs

@@ -23,7 +23,6 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from repro.agents.harvest import SmartHarvestAgent
 from repro.agents.memory import SmartMemoryAgent
 from repro.agents.overclock import SmartOverclockAgent
-from repro.core.events import EventKind
 from repro.fleet.config import NodeSpec
 from repro.fleet.faults import attach_burst
 from repro.node.cpu import CpuModel
@@ -120,6 +119,11 @@ class FleetNode:
         fault_window_us: optional ``(start, end)`` of a correlated
             invalid-data burst this node participates in.
         fault_probability: per-read corruption chance inside the window.
+        log_mode: runtime event-log mode.  Fleet aggregation needs only
+            counters, so the default is ``"counts"`` (no per-event
+            allocation); pass ``"full"`` to keep every event.  Results
+            are bit-identical either way (pinned by the golden-digest
+            tests).
     """
 
     def __init__(
@@ -128,9 +132,11 @@ class FleetNode:
         duration_s: int,
         fault_window_us: Optional[Tuple[int, int]] = None,
         fault_probability: float = 0.0,
+        log_mode: str = "counts",
     ) -> None:
         self.spec = spec
         self.duration_s = duration_s
+        self.log_mode = log_mode
         self.kernel = Kernel()
         self.streams = RngStreams(spec.seed)
         self._windows: List[bool] = []  # True = violated
@@ -165,7 +171,8 @@ class FleetNode:
         ).start()
         self.kernel.spawn(self._watch_overclock(), name="fleet.slo")
         return SmartOverclockAgent(
-            self.kernel, self.cpu, self.streams.get("agent")
+            self.kernel, self.cpu, self.streams.get("agent"),
+            log_mode=self.log_mode,
         ).start()
 
     def _build_harvest(self) -> SmartHarvestAgent:
@@ -185,7 +192,8 @@ class FleetNode:
             name="fleet.slo",
         )
         agent = SmartHarvestAgent(
-            self.kernel, self.hypervisor, self.streams.get("agent")
+            self.kernel, self.hypervisor, self.streams.get("agent"),
+            log_mode=self.log_mode,
         )
         agent.start()
         return agent
@@ -204,7 +212,8 @@ class FleetNode:
         ).start()
         self.kernel.spawn(self._watch_locality(), name="fleet.slo")
         return SmartMemoryAgent(
-            self.kernel, self.memory, self.streams.get("agent")
+            self.kernel, self.memory, self.streams.get("agent"),
+            log_mode=self.log_mode,
         ).start()
 
     # -- SLO watchers (one 5 s verdict per window) --------------------------
@@ -287,12 +296,4 @@ class FleetNode:
     @staticmethod
     def _action_histogram(runtime) -> Dict[str, int]:
         """Count actuations by prediction provenance: model/default/none."""
-        histogram = {"model": 0, "default": 0, "none": 0}
-        for event in runtime.log.of_kind(EventKind.ACTUATION):
-            if not event.details.get("has_prediction"):
-                histogram["none"] += 1
-            elif event.details.get("is_default"):
-                histogram["default"] += 1
-            else:
-                histogram["model"] += 1
-        return histogram
+        return runtime.log.action_histogram()

@@ -50,6 +50,7 @@ class OnlineLinearRegression:
         self.weights = np.zeros(n_features)
         self.bias = 0.0
         self.updates = 0
+        self._step_buffer = np.empty(n_features)
 
     def predict(self, features: Sequence[float]) -> float:
         """Model output for one feature vector."""
@@ -59,13 +60,26 @@ class OnlineLinearRegression:
     def update(self, features: Sequence[float], target: float) -> float:
         """One SGD step toward ``target``; returns the pre-update error."""
         x = self._check(features)
-        error = self.predict(x) - float(target)
+        # Same arithmetic as predict(x), inlined to skip the second shape
+        # check; the scalar clip is min/max because np.clip costs ~7 µs
+        # per scalar call and this runs once per datapoint fleet-wide.
+        error = float(self.weights @ x + self.bias) - float(target)
         step_error = error
-        if self.clip_gradient is not None:
-            step_error = float(
-                np.clip(error, -self.clip_gradient, self.clip_gradient)
+        clip = self.clip_gradient
+        if clip is not None:
+            step_error = min(max(error, -clip), clip)
+        if self.l2:
+            self.weights -= self.learning_rate * (
+                step_error * x + self.l2 * self.weights
             )
-        self.weights -= self.learning_rate * (step_error * x + self.l2 * self.weights)
+        else:
+            # l2 == 0 contributes an exact ±0.0 per element, so dropping
+            # the term (and chaining in-place ufuncs into a scratch
+            # buffer) is bit-identical while skipping three temporaries.
+            step = self._step_buffer
+            np.multiply(x, step_error, out=step)
+            step *= self.learning_rate
+            self.weights -= step
         self.bias -= self.learning_rate * step_error
         self.updates += 1
         return error

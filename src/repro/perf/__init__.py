@@ -1,0 +1,26 @@
+"""Performance measurement subsystem (``python -m repro bench``).
+
+Public surface::
+
+    from repro.perf import build_report, compare_reports, write_report
+    from repro.perf.microbench import MICROBENCHMARKS, run_microbench
+
+``repro.perf.legacy`` holds a frozen copy of the seed kernel used as the
+measurement baseline; never import it from production code.
+"""
+
+from repro.perf.harness import (
+    SEED_BASELINES,
+    build_report,
+    compare_reports,
+    render_report,
+    write_report,
+)
+
+__all__ = [
+    "SEED_BASELINES",
+    "build_report",
+    "compare_reports",
+    "render_report",
+    "write_report",
+]

@@ -1,0 +1,60 @@
+"""Pinned seed-commit baselines — the single source of truth.
+
+Both the golden-digest tests (`tests/fleet/test_golden_digests.py`) and
+the ``repro bench`` harness consume these constants, so a legitimate
+physics change (which EXPERIMENTS.md anticipates) is updated in exactly
+one place and cannot leave the bench and the tests disagreeing about
+what "unchanged results" means.
+
+All values were recorded at the seed commit (pre kernel-overhaul):
+digests from `FleetAggregate.digest()` / the canonical
+`ExperimentResult` hash, wall times best-of-3 on the reference
+container.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "GOLDEN_EXPERIMENT_DIGESTS",
+    "GOLDEN_EXPERIMENT_SCALE",
+    "GOLDEN_FLEET_DIGESTS",
+    "SEED_E2E_WALL_S",
+]
+
+#: Fleet-configuration name -> seed digest.  The configurations
+#: themselves are defined where they are used (tests, harness); the
+#: names here are the contract.
+GOLDEN_FLEET_DIGESTS: Dict[str, str] = {
+    "overclock_8x20_seed7": (
+        "e4dab531a38b27801c57e90f28da03284b0d84a0d4524e1974d9d281fe118570"
+    ),
+    "mixed_6x15_seed3": (
+        "52e61d334671947b1ada1141e42fab6340d69e886e64ab65e38e9a4a878a55f6"
+    ),
+    "harvest_4x20_seed5_fault": (
+        "f05f7a6ec8ebd7b3d552a482f9785ee5fa2d7c7ea46288cf61cb532da102e716"
+    ),
+}
+
+#: Artifact name -> canonical ExperimentResult digest at
+#: :data:`GOLDEN_EXPERIMENT_SCALE`.
+GOLDEN_EXPERIMENT_DIGESTS: Dict[str, str] = {
+    "table1": (
+        "557084de35d05bd9f9ea31e0bfc7d21a0afe225f147786ff8112f1c59d60c6db"
+    ),
+    "table2": (
+        "9e4f3d7a2657206488a24cc50418a9251de6ae7ffbbbfacf8ed0607768167073"
+    ),
+    "fig6-left": (
+        "84d2a7f26ca752bd3fd78491b62abc1e06343319da2bdfa906299ad9282d0a5c"
+    ),
+}
+GOLDEN_EXPERIMENT_SCALE = 0.2
+
+#: Seed-commit wall-clock of the bench end-to-end scenarios.
+SEED_E2E_WALL_S: Dict[str, float] = {
+    "fleet_mixed_6x15": 1.115,
+    "reproduce_subset": 3.233,
+}

@@ -1,0 +1,222 @@
+"""The ``repro bench`` harness: measure, record, and gate performance.
+
+Produces ``BENCH_kernel.json`` so every perf-affecting PR leaves a
+recorded trajectory instead of a claim:
+
+* **Microbenchmarks** run each scenario in :mod:`repro.perf.microbench`
+  against both the live kernel (:mod:`repro.sim`) and the frozen seed
+  kernel (:mod:`repro.perf.legacy`), same machine, same process.  The
+  reported *speedups* are therefore machine-independent ratios — that is
+  what :func:`compare_reports` gates on in CI.
+* **End-to-end** timings run a real fleet scenario and a
+  ``reproduce-all`` subset on the live stack, verify the fleet digest
+  against the pinned seed value (an optimization that changes results is
+  a bug, not a speedup), and compare wall-clock against
+  :data:`SEED_BASELINES` — seed-commit wall times measured on the
+  reference container (best-of-3; see EXPERIMENTS.md).  Absolute
+  seconds are machine-dependent; the speedup column is indicative, the
+  digest check is not.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Any, Dict, List
+
+import repro.perf.legacy as legacy_impl
+import repro.sim as live_impl
+from repro.perf.baselines import GOLDEN_FLEET_DIGESTS, SEED_E2E_WALL_S
+from repro.perf.microbench import MICROBENCHMARKS, run_microbench
+
+__all__ = [
+    "SEED_BASELINES",
+    "build_report",
+    "compare_reports",
+    "render_report",
+    "write_report",
+]
+
+SCHEMA_VERSION = 1
+
+#: Wall-clock of the end-to-end scenarios at the seed commit (pre-
+#: optimization).  Digests pin result equivalence; these pin the
+#: "before" of the before/after table.  Single source of truth:
+#: :mod:`repro.perf.baselines` (shared with the golden-digest tests).
+SEED_BASELINES: Dict[str, float] = SEED_E2E_WALL_S
+
+#: The pinned seed digest for the end-to-end fleet scenario.
+FLEET_DIGEST = GOLDEN_FLEET_DIGESTS["mixed_6x15_seed3"]
+
+#: Artifacts of the reproduce-all end-to-end subset (cheap but covering
+#: tables, a harvest figure, and hence all three runtime loops).
+REPRODUCE_SUBSET = ("table1", "table2", "fig6-left")
+REPRODUCE_SCALE = 0.2
+
+
+def _bench_result_dict(result: Any) -> Dict[str, Any]:
+    return {
+        "events": result.events,
+        "wall_s": round(result.wall_s, 6),
+        "ns_per_event": round(result.ns_per_event, 1),
+        "events_per_sec": round(result.events_per_sec, 1),
+    }
+
+
+def run_microbenchmarks(
+    scale: float = 1.0, repeats: int = 3
+) -> Dict[str, Any]:
+    """All scenarios, optimized vs legacy, interleaved for fairness."""
+    section: Dict[str, Any] = {}
+    speedups: List[float] = []
+    for name in MICROBENCHMARKS:
+        optimized = run_microbench(name, live_impl, scale, repeats)
+        legacy = run_microbench(name, legacy_impl, scale, repeats)
+        speedup = legacy.wall_s / optimized.wall_s
+        speedups.append(speedup)
+        section[name] = {
+            "optimized": _bench_result_dict(optimized),
+            "legacy": _bench_result_dict(legacy),
+            "speedup": round(speedup, 2),
+        }
+    section["geomean_speedup"] = round(
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
+    )
+    return section
+
+
+def run_end_to_end() -> Dict[str, Any]:
+    """Fleet + reproduce-subset wall clock on the live stack."""
+    # Imported lazily: the full stack is irrelevant to --quick runs.
+    from repro.experiments.driver import FleetDriver, reproduce_all
+    from repro.fleet.config import FleetConfig
+
+    config = FleetConfig(n_nodes=6, agent="mixed", seed=3, duration_s=15)
+    started = time.perf_counter()
+    aggregate = FleetDriver(config, workers=1).run()
+    fleet_wall = time.perf_counter() - started
+    digest = aggregate.digest()
+
+    started = time.perf_counter()
+    runs = reproduce_all(only=list(REPRODUCE_SUBSET), scale=REPRODUCE_SCALE)
+    reproduce_wall = time.perf_counter() - started
+
+    def against_seed(key: str, wall: float) -> Dict[str, Any]:
+        seed = SEED_BASELINES.get(key)
+        entry: Dict[str, Any] = {"wall_s": round(wall, 3)}
+        if seed is not None:
+            entry["seed_wall_s"] = seed
+            entry["speedup_vs_seed"] = round(seed / wall, 2)
+        return entry
+
+    fleet_entry = against_seed("fleet_mixed_6x15", fleet_wall)
+    fleet_entry.update(
+        nodes=config.n_nodes,
+        sim_seconds=config.duration_s,
+        digest=digest,
+        digest_ok=digest == FLEET_DIGEST,
+    )
+    reproduce_entry = against_seed("reproduce_subset", reproduce_wall)
+    reproduce_entry.update(
+        artifacts=list(REPRODUCE_SUBSET),
+        scale=REPRODUCE_SCALE,
+        runs={run.name: round(run.wall_seconds, 3) for run in runs},
+    )
+    return {
+        "fleet_mixed_6x15": fleet_entry,
+        "reproduce_subset": reproduce_entry,
+    }
+
+
+def build_report(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
+    """The full ``repro bench`` report.
+
+    ``quick`` shrinks the microbenchmarks (~4× fewer events) and skips
+    the end-to-end section; speedup ratios remain comparable, which is
+    all the CI regression gate consumes.
+    """
+    report: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "microbench": run_microbenchmarks(
+            scale=0.25 if quick else 1.0, repeats=repeats
+        ),
+    }
+    if not quick:
+        report["end_to_end"] = run_end_to_end()
+    return report
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def compare_reports(
+    new: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """Regressions of ``new`` against a committed baseline report.
+
+    Only machine-independent quantities are gated: per-scenario
+    optimized-vs-legacy speedups (each may not fall more than
+    ``max_regression`` below the baseline ratio) and the end-to-end
+    digest check (must not flip to False).  Returns human-readable
+    problem strings; empty means pass.
+    """
+    problems: List[str] = []
+    new_micro = new.get("microbench", {})
+    for name, entry in baseline.get("microbench", {}).items():
+        if not isinstance(entry, dict) or "speedup" not in entry:
+            continue
+        current = new_micro.get(name)
+        if current is None:
+            problems.append(f"microbench {name!r} missing from new report")
+            continue
+        floor = entry["speedup"] * (1.0 - max_regression)
+        if current["speedup"] < floor:
+            problems.append(
+                f"microbench {name!r} speedup regressed: "
+                f"{current['speedup']:.2f}x < floor {floor:.2f}x "
+                f"(baseline {entry['speedup']:.2f}x)"
+            )
+    fleet = new.get("end_to_end", {}).get("fleet_mixed_6x15")
+    if fleet is not None and fleet.get("digest_ok") is False:
+        problems.append(
+            "end-to-end fleet digest mismatch: optimization changed results"
+        )
+    return problems
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary of a report."""
+    lines = ["== repro bench =="]
+    micro = report.get("microbench", {})
+    for name, entry in micro.items():
+        if not isinstance(entry, dict):
+            continue
+        lines.append(
+            f"  {name:22s} {entry['optimized']['ns_per_event']:>8.0f} ns/ev"
+            f"  (seed {entry['legacy']['ns_per_event']:>8.0f} ns/ev)"
+            f"  speedup {entry['speedup']:.2f}x"
+        )
+    if "geomean_speedup" in micro:
+        lines.append(
+            f"  kernel microbenchmark geomean speedup: "
+            f"{micro['geomean_speedup']:.2f}x"
+        )
+    for name, entry in report.get("end_to_end", {}).items():
+        wall = entry["wall_s"]
+        extra = ""
+        if "speedup_vs_seed" in entry:
+            extra = (
+                f"  (seed {entry['seed_wall_s']:.2f} s, "
+                f"speedup {entry['speedup_vs_seed']:.2f}x)"
+            )
+        if "digest_ok" in entry:
+            extra += "  digest OK" if entry["digest_ok"] else "  DIGEST MISMATCH"
+        lines.append(f"  e2e {name:18s} {wall:7.2f} s wall{extra}")
+    return "\n".join(lines)

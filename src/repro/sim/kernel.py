@@ -32,6 +32,22 @@ Example::
     kernel = Kernel()
     kernel.spawn(blinker(kernel, light), name="blinker")
     kernel.run(until=10 * SEC)
+
+Hot-path design (DESIGN.md §6)
+------------------------------
+The kernel executes one heap entry per simulated occurrence, so per-entry
+constant factors dominate every experiment's wall-clock.  Three choices
+keep that constant small:
+
+* heap entries are plain tuples ``(time_us, seq, target, payload)`` —
+  resuming a process pushes ``(t, seq, process, send_value)`` directly,
+  with no closure allocation;
+* :meth:`Kernel.run` drives process generators inline: the common case
+  (a process yielding an ``int`` sleep) is a ``gen.send`` plus one
+  ``heappush``, with no intermediate method calls;
+* timers are first-class :class:`Timer` handles with *lazy deletion*: a
+  cancelled timer stays in the heap but is skipped for free when popped,
+  so cancellation is O(1).
 """
 
 from __future__ import annotations
@@ -47,7 +63,73 @@ from repro.sim.errors import (
     SimulationError,
 )
 
-__all__ = ["Event", "Process", "Kernel"]
+__all__ = ["Event", "Process", "Timer", "Kernel"]
+
+#: Heap-entry payload marking the target as a :class:`Timer` rather than a
+#: process resume.  Module-private: never a legitimate Event value.
+_TIMER = object()
+
+#: Upper bound on pooled Event objects (see :meth:`Kernel._release_event`).
+_EVENT_FREELIST_MAX = 256
+
+#: A simulation time later than any reachable one (run-loop sentinel).
+_NEVER = 1 << 200
+
+
+class Timer:
+    """A cancellable handle for a scheduled callback.
+
+    Returned by :meth:`Kernel.call_at` / :meth:`Kernel.call_later`.
+    :meth:`cancel` is amortized O(1): the heap entry is left in place and
+    skipped when its timestamp is reached (lazy deletion), and the kernel
+    compacts the heap when cancelled entries outnumber live ones.
+    Cancelling a timer that already fired — or cancelling twice — is a
+    no-op, so callers never need to track firing state themselves.
+    """
+
+    __slots__ = ("kernel", "_action", "_value", "_fired")
+
+    def __init__(self, kernel: "Kernel", action: Callable[[], None]) -> None:
+        self.kernel = kernel
+        # _action is either a plain callable, or an Event to succeed with
+        # _value (the allocation-free form used by SimQueue timeouts).
+        self._action: Any = action
+        self._value: Any = None
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the timer fired."""
+        return self._action is None and not self._fired
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback has run."""
+        return self._fired
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op once fired)."""
+        if not self._fired and self._action is not None:
+            self._action = None
+            self.kernel._note_cancelled_timer()
+
+    def _run(self) -> None:
+        action = self._action
+        if action is not None:
+            self._fired = True
+            self._action = None
+            if action.__class__ is Event:
+                action.succeed(self._value)
+            else:
+                action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "fired" if self._fired
+            else "cancelled" if self._action is None
+            else "pending"
+        )
+        return f"<Timer {state}>"
 
 
 class Event:
@@ -92,12 +174,23 @@ class Event:
             return False
         self._succeeded = True
         self._value = value
-        waiters, self._waiters = self._waiters, []
-        for process in waiters:
-            self.kernel._schedule_resume(process, self._value)
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self._value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            kernel = self.kernel
+            if not kernel._stopped:
+                now = kernel._now
+                heap = kernel._heap
+                sequence = kernel._sequence
+                for process in waiters:
+                    heapq.heappush(
+                        heap, (now, next(sequence), process, value)
+                    )
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(value)
         return True
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
@@ -115,13 +208,25 @@ class Event:
         if self._succeeded:
             self.kernel._schedule_resume(process, self._value)
         else:
+            process._waiter_pos = len(self._waiters)
             self._waiters.append(process)
 
     def _discard_waiter(self, process: "Process") -> None:
-        try:
-            self._waiters.remove(process)
-        except ValueError:
-            pass
+        # O(1) swap-remove in any kill order: each process tracks its slot
+        # in the waiter list (it can wait on at most one event at a time).
+        # The seed's list.remove() made kill cost depend on registration
+        # order — O(waiters) per kill for anything but FIFO teardown.
+        # Swap-remove is safe because waiter wake order is a kernel
+        # implementation detail (resume ties are broken by schedule
+        # sequence, not list position).
+        waiters = self._waiters
+        index = process._waiter_pos
+        count = len(waiters)
+        if index < count and waiters[index] is process:
+            last = waiters.pop()
+            if index < count - 1:
+                waiters[index] = last
+                last._waiter_pos = index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "succeeded" if self._succeeded else "pending"
@@ -144,6 +249,7 @@ class Process:
         "completion",
         "_alive",
         "_waiting_on",
+        "_waiter_pos",
         "_error",
     )
 
@@ -159,6 +265,7 @@ class Process:
         self.completion = Event(kernel, name=f"{name}.completion")
         self._alive = True
         self._waiting_on: Optional[Event] = None
+        self._waiter_pos = 0
         self._error: Optional[BaseException] = None
 
     @property
@@ -249,18 +356,23 @@ class Process:
 
 
 class Kernel:
-    """Event loop: a priority queue of (time, sequence, action) triples.
+    """Event loop: a priority queue of ``(time, seq, target, payload)``.
 
     Ties at the same timestamp are broken by insertion order, so the
-    simulation is fully deterministic.
+    simulation is fully deterministic.  ``target`` is either a
+    :class:`Process` (``payload`` is the value to send into its
+    generator) or a :class:`Timer` (``payload`` is the module-private
+    ``_TIMER`` sentinel).
     """
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[int, int, Any, Any]] = []
         self._sequence = itertools.count()
         self._stopped = False
         self._processes: List[Process] = []
+        self._event_freelist: List[Event] = []
+        self._cancelled_timers = 0
 
     @property
     def now(self) -> int:
@@ -270,7 +382,18 @@ class Kernel:
     # -- public API --------------------------------------------------------
 
     def event(self, name: str = "event") -> Event:
-        """Create a fresh pending :class:`Event` bound to this kernel."""
+        """A fresh pending :class:`Event` bound to this kernel.
+
+        Events are pooled: hot paths that burn through one event per
+        operation (``SimQueue.get``) hand them back via
+        :meth:`_release_event`, and this method reuses them instead of
+        allocating.
+        """
+        freelist = self._event_freelist
+        if freelist:
+            event = freelist.pop()
+            event.name = name
+            return event
         return Event(self, name=name)
 
     def spawn(
@@ -283,20 +406,56 @@ class Kernel:
         self._schedule_resume(process, None)
         return process
 
-    def call_at(self, time_us: int, action: Callable[[], None]) -> None:
-        """Schedule a plain callback at an absolute simulation time."""
+    def call_at(self, time_us: int, action: Callable[[], None]) -> Timer:
+        """Schedule a callback at an absolute simulation time.
+
+        Returns:
+            A :class:`Timer` handle; :meth:`Timer.cancel` prevents the
+            callback from running.
+        """
         self._check_running()
         if time_us < self._now:
             raise SchedulingError(
                 f"cannot schedule at {time_us} (now is {self._now})"
             )
-        heapq.heappush(self._heap, (time_us, next(self._sequence), action))
+        timer = Timer(self, action)
+        heapq.heappush(
+            self._heap, (time_us, next(self._sequence), timer, _TIMER)
+        )
+        return timer
 
-    def call_later(self, delay_us: int, action: Callable[[], None]) -> None:
-        """Schedule a plain callback ``delay_us`` microseconds from now."""
+    def call_later(self, delay_us: int, action: Callable[[], None]) -> Timer:
+        """Schedule a callback ``delay_us`` microseconds from now."""
         if delay_us < 0:
             raise SchedulingError(f"negative delay: {delay_us}")
-        self.call_at(self._now + delay_us, action)
+        if self._stopped:
+            raise KernelStopped("kernel has been stopped")
+        timer = Timer(self, action)
+        heapq.heappush(
+            self._heap,
+            (self._now + delay_us, next(self._sequence), timer, _TIMER),
+        )
+        return timer
+
+    def succeed_later(self, delay_us: int, event: Event, value: Any) -> Timer:
+        """Schedule ``event.succeed(value)`` without a closure allocation.
+
+        Semantically identical to
+        ``call_later(delay_us, lambda: event.succeed(value))`` but the
+        timer stores the event and value directly — the form the
+        ``SimQueue`` timeout hot path uses once per bounded ``get``.
+        """
+        if delay_us < 0:
+            raise SchedulingError(f"negative delay: {delay_us}")
+        if self._stopped:
+            raise KernelStopped("kernel has been stopped")
+        timer = Timer(self, event)
+        timer._value = value
+        heapq.heappush(
+            self._heap,
+            (self._now + delay_us, next(self._sequence), timer, _TIMER),
+        )
+        return timer
 
     def run(self, until: Optional[int] = None) -> int:
         """Run events until the heap drains or time would pass ``until``.
@@ -311,13 +470,77 @@ class Kernel:
             The simulation time at return.
         """
         self._check_running()
-        while self._heap:
-            time_us, _seq, action = self._heap[0]
-            if until is not None and time_us > until:
+        # The innermost loop of the whole reproduction: one iteration per
+        # simulated occurrence.  The process-resume path is inlined (no
+        # _step/_handle_request calls) and the int-sleep continuation is a
+        # single heappush of a tuple.  ``step()`` keeps the readable
+        # non-inlined equivalent; behavior must match it exactly.
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        sequence = self._sequence
+        # int-int comparisons in the loop; effectively "never" when no
+        # until bound was given.
+        until_t = _NEVER if until is None else until
+        while heap:
+            entry = heappop(heap)
+            time_us = entry[0]
+            if time_us > until_t:
+                heappush(heap, entry)
                 break
-            heapq.heappop(self._heap)
             self._now = time_us
-            action()
+            target = entry[2]
+            if entry[3] is _TIMER:
+                action = target._action
+                if action is not None:
+                    target._fired = True
+                    target._action = None
+                    if action.__class__ is Event:
+                        action.succeed(target._value)
+                    else:
+                        action()
+                else:
+                    # Lazily-deleted (cancelled) entry: skipping it here is
+                    # the entire cost of cancellation.
+                    self._cancelled_timers -= 1
+                continue
+            # -- inline Process resume ---------------------------------
+            if not target._alive:
+                continue
+            target._waiting_on = None
+            try:
+                request = target.generator.send(entry[3])
+            except StopIteration as stop:
+                target._finish(value=stop.value)
+                continue
+            except ProcessKilled:
+                target._finish(value=None)
+                continue
+            request_type = type(request)
+            if request_type is int and request >= 0:
+                if not self._stopped:
+                    heappush(
+                        heap,
+                        (time_us + request, next(sequence), target, None),
+                    )
+            elif request_type is Event:
+                if request._succeeded:
+                    if not self._stopped:
+                        heappush(
+                            heap,
+                            (
+                                time_us,
+                                next(sequence),
+                                target,
+                                request._value,
+                            ),
+                        )
+                else:
+                    target._waiting_on = request
+                    target._waiter_pos = len(request._waiters)
+                    request._waiters.append(target)
+            else:
+                target._handle_request(request)
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -327,9 +550,15 @@ class Kernel:
         self._check_running()
         if not self._heap:
             return False
-        time_us, _seq, action = heapq.heappop(self._heap)
+        time_us, _seq, target, payload = heapq.heappop(self._heap)
         self._now = time_us
-        action()
+        if payload is _TIMER:
+            if target._action is None:
+                self._cancelled_timers -= 1
+            else:
+                target._run()
+        else:
+            target._step(payload)
         return True
 
     def stop(self) -> None:
@@ -341,11 +570,16 @@ class Kernel:
             if process.alive:
                 process.kill()
         self._heap.clear()
+        self._cancelled_timers = 0
 
     @property
     def pending_events(self) -> int:
-        """Number of events waiting in the heap (for tests/diagnostics)."""
-        return len(self._heap)
+        """Number of live heap entries (cancelled timers excluded)."""
+        return sum(
+            1
+            for entry in self._heap
+            if not (entry[3] is _TIMER and entry[2]._action is None)
+        )
 
     def live_processes(self) -> Iterable[Process]:
         """Yield the processes that are still alive."""
@@ -358,13 +592,51 @@ class Kernel:
     ) -> None:
         if self._stopped:
             return
-
-        def resume() -> None:
-            process._step(value)
-
         heapq.heappush(
-            self._heap, (self._now + delay, next(self._sequence), resume)
+            self._heap,
+            (self._now + delay, next(self._sequence), process, value),
         )
+
+    def _note_cancelled_timer(self) -> None:
+        """Bookkeeping for lazy deletion; compacts when dead entries win.
+
+        Compaction rebuilds the heap without cancelled entries once they
+        outnumber live ones (amortized O(1) per cancel), so a workload
+        that cancels almost every timer — e.g. an Actuator whose
+        predictions always beat its queue timeout — keeps the heap at the
+        size of its *live* event set.
+        """
+        self._cancelled_timers += 1
+        heap = self._heap
+        if (
+            self._cancelled_timers > 16
+            and self._cancelled_timers * 2 > len(heap)
+        ):
+            heap[:] = [
+                entry
+                for entry in heap
+                if entry[3] is not _TIMER or entry[2]._action is not None
+            ]
+            heapq.heapify(heap)
+            self._cancelled_timers = 0
+
+    def _release_event(self, event: Event) -> None:
+        """Return an event to the pool for reuse by :meth:`event`.
+
+        Caller contract: nothing else holds a reference that will be used
+        again — no registered waiters or callbacks may remain reachable.
+        ``SimQueue.get`` is the intended caller (its waiter events are
+        strictly single-use).
+        """
+        freelist = self._event_freelist
+        if len(freelist) < _EVENT_FREELIST_MAX:
+            event._value = None
+            event._succeeded = False
+            if event._waiters:
+                event._waiters.clear()
+            if event._callbacks:
+                event._callbacks.clear()
+            freelist.append(event)
 
     def _check_running(self) -> None:
         if self._stopped:

@@ -54,6 +54,7 @@ class SimQueue:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._dropped = 0
+        self._waiter_name = f"{name}.get"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -98,13 +99,35 @@ class SimQueue:
         """
         if self._items:
             return self._items.popleft()
-        waiter = self.kernel.event(name=f"{self.name}.get")
+        kernel = self.kernel
+        freelist = kernel._event_freelist
+        if freelist:  # inlined kernel.event(): one bounded get per wait
+            waiter = freelist.pop()
+            waiter.name = self._waiter_name
+        else:
+            waiter = Event(kernel, self._waiter_name)
         self._getters.append(waiter)
+        timer = None
         if timeout_us is not None:
-            self.kernel.call_later(
-                timeout_us, lambda: waiter.succeed(QUEUE_TIMEOUT)
-            )
+            timer = kernel.succeed_later(timeout_us, waiter, QUEUE_TIMEOUT)
         value = yield waiter
+        if timer is not None and timer._action is not None:
+            # An item won the race: cancel the timeout so it doesn't sit
+            # in the kernel heap as a dead entry (the seed kernel leaked
+            # one such timer per successful bounded get).  Inlined
+            # Timer.cancel(): _action is None exactly when the timer
+            # already fired (then cancelling is a no-op anyway).
+            timer._action = None
+            kernel._note_cancelled_timer()
+        if value is QUEUE_TIMEOUT:
+            # The timeout won: the waiter is still registered; drop it so
+            # a later put() wakes a live consumer instead of a dead event.
+            try:
+                self._getters.remove(waiter)
+            except ValueError:
+                pass
+        # The waiter is single-use and nothing else can reach it now.
+        kernel._release_event(waiter)
         return value
 
     def clear(self) -> int:

@@ -13,8 +13,7 @@ import abc
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
-
+from repro.ml.quantiles import percentile as _percentile
 from repro.sim.kernel import Kernel, Process
 
 __all__ = ["PerformanceReport", "Workload"]
@@ -80,7 +79,7 @@ class Workload(abc.ABC):
 
 
 def percentile(samples: List[float], q: float) -> float:
-    """Nearest-rank percentile of a sample list (q in [0, 100])."""
+    """Linear-interpolated percentile of a sample list (q in [0, 100])."""
     if not samples:
         raise ValueError("no samples collected")
-    return float(np.percentile(np.asarray(samples), q))
+    return _percentile(samples, q)

@@ -63,8 +63,8 @@ class DiskSpeedWorkload(Workload):
 
     def _run(self):
         while True:
-            utilization = float(
-                np.clip(self.rng.normal(self.utilization, 0.03), 0.3, 0.9)
+            utilization = min(
+                max(float(self.rng.normal(self.utilization, 0.03)), 0.3), 0.9
             )
             self.cpu.set_phase(
                 utilization=utilization,

@@ -80,9 +80,8 @@ class ObjectStoreWorkload(Workload):
     def _run(self):
         while True:
             # High load with a small wiggle; always worth overclocking.
-            utilization = float(
-                np.clip(self.rng.normal(0.95, 0.02), 0.85, 1.0)
-            )
+            utilization = min(max(float(self.rng.normal(0.95, 0.02)), 0.85),
+                              1.0)
             self.cpu.set_phase(
                 utilization=utilization,
                 boundness=self.boundness,

@@ -132,12 +132,9 @@ class TailBenchWorkload(Workload):
                 self._demand
                 + (profile.burst_cores - self._demand) * self._ramp
             )
-            return float(
-                np.clip(
-                    level + self.rng.normal(0.0, 0.2),
-                    0.0,
-                    self.hypervisor.n_cores,
-                )
+            return min(
+                max(float(level + self.rng.normal(0.0, 0.2)), 0.0),
+                float(self.hypervisor.n_cores),
             )
         self._ramp = 0.0
         if self.rng.random() < profile.burst_probability:
@@ -147,12 +144,12 @@ class TailBenchWorkload(Workload):
                 )
             )
             return self._next_demand()
-        self._demand = float(
-            np.clip(
-                self._demand + self.rng.normal(0.0, profile.wander),
+        self._demand = min(
+            max(
+                float(self._demand + self.rng.normal(0.0, profile.wander)),
                 profile.base_low,
-                profile.base_high,
-            )
+            ),
+            profile.base_high,
         )
         return self._demand
 

@@ -1,0 +1,65 @@
+"""EventLog counts mode: identical aggregates, no per-event retention."""
+
+import pytest
+
+from repro.core.events import EventKind, EventLog, RING_SIZE
+from repro.sim import Kernel
+
+
+def _drive(log: EventLog) -> None:
+    log.record(EventKind.EPOCH_START, epoch=1)
+    log.record(EventKind.PREDICTION_SENT, is_default=False, expires_at_us=5)
+    log.record(EventKind.PREDICTION_SENT, is_default=True, expires_at_us=9)
+    log.record(EventKind.ACTUATION, has_prediction=True, is_default=False)
+    log.record(EventKind.ACTUATION, has_prediction=True, is_default=True)
+    log.record(EventKind.ACTUATION, has_prediction=False, is_default=None)
+    log.record(EventKind.ACTUATION_TIMEOUT)
+
+
+def test_counts_mode_matches_full_mode_aggregates():
+    kernel = Kernel()
+    full = EventLog(kernel, agent="a", mode="full")
+    counts = EventLog(kernel, agent="a", mode="counts")
+    _drive(full)
+    _drive(counts)
+    for kind in EventKind:
+        assert counts.count(kind) == full.count(kind)
+    assert counts.summary() == full.summary()
+    assert counts.action_histogram() == full.action_histogram()
+    assert (
+        counts.default_predictions_sent() == full.default_predictions_sent()
+    )
+    assert len(counts) == len(full) == 7
+
+
+def test_full_mode_action_histogram_values():
+    log = EventLog(Kernel(), agent="a")
+    _drive(log)
+    assert log.action_histogram() == {"model": 1, "default": 1, "none": 1}
+    assert log.default_predictions_sent() == 1
+
+
+def test_counts_mode_rejects_per_event_queries():
+    log = EventLog(Kernel(), agent="a", mode="counts")
+    _drive(log)
+    with pytest.raises(RuntimeError):
+        log.of_kind(EventKind.ACTUATION)
+    with pytest.raises(RuntimeError):
+        list(log)
+
+
+def test_counts_mode_ring_buffer_keeps_recent_tail():
+    log = EventLog(Kernel(), agent="a", mode="counts")
+    for i in range(RING_SIZE + 10):
+        log.record(EventKind.DATA_COLLECTED, n=i)
+    recent = log.recent()
+    assert len(recent) == RING_SIZE
+    assert recent[-1].details["n"] == RING_SIZE + 9
+    # Ring entries materialize lazily, so compare by value, not identity.
+    assert log.last(EventKind.DATA_COLLECTED) == recent[-1]
+    assert log.count(EventKind.DATA_COLLECTED) == RING_SIZE + 10
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        EventLog(Kernel(), agent="a", mode="sometimes")

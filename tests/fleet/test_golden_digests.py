@@ -1,0 +1,117 @@
+"""Golden digests: optimization must never change a result bit.
+
+The hashes below were computed at the seed commit (pre kernel-overhaul),
+covering all three agent kinds, heterogeneous SKU mixes, and a rack
+fault burst.  Every hot-path change — kernel scheduling, event pooling,
+log modes, driver sharding, numeric inner loops — must reproduce them
+exactly, across worker counts and log modes.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments.driver import FleetDriver, reproduce_all
+from repro.fleet.config import FaultPlan, FleetConfig
+from repro.fleet.node import FleetNode
+from repro.fleet.scenario import FleetScenario
+from repro.perf.baselines import (
+    GOLDEN_EXPERIMENT_DIGESTS as GOLDEN_EXPERIMENTS,
+    GOLDEN_EXPERIMENT_SCALE,
+    GOLDEN_FLEET_DIGESTS,
+)
+
+GOLDEN_FLEETS = {
+    "overclock_8x20_seed7": (
+        FleetConfig(n_nodes=8, agent="overclock", seed=7, duration_s=20),
+        GOLDEN_FLEET_DIGESTS["overclock_8x20_seed7"],
+    ),
+    "mixed_6x15_seed3": (
+        FleetConfig(n_nodes=6, agent="mixed", seed=3, duration_s=15),
+        GOLDEN_FLEET_DIGESTS["mixed_6x15_seed3"],
+    ),
+    "harvest_4x20_seed5_fault": (
+        FleetConfig(
+            n_nodes=4, agent="harvest", seed=5, duration_s=20, rack_size=2,
+            fault=FaultPlan(racks=(0,), start_s=5, duration_s=10,
+                            probability=0.9),
+        ),
+        GOLDEN_FLEET_DIGESTS["harvest_4x20_seed5_fault"],
+    ),
+}
+
+
+def _canon_cell(value):
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return str(value)
+    try:
+        return repr(float(value))
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def experiment_digest(result) -> str:
+    """Float-exact, type-canonical digest of an ExperimentResult."""
+    payload = json.dumps(
+        {
+            "name": result.name,
+            "columns": [str(column) for column in result.columns],
+            "rows": [
+                {str(k): _canon_cell(v) for k, v in row.items()}
+                for row in result.rows
+            ],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FLEETS))
+def test_fleet_digest_matches_seed_baseline(name):
+    config, expected = GOLDEN_FLEETS[name]
+    assert FleetDriver(config, workers=1).run().digest() == expected
+
+
+def test_fleet_digest_identical_across_worker_counts():
+    config, expected = GOLDEN_FLEETS["overclock_8x20_seed7"]
+    parallel = FleetDriver(config, workers=3).run()
+    assert parallel.digest() == expected
+
+
+def test_fleet_digest_identical_across_log_modes():
+    config, expected = GOLDEN_FLEETS["mixed_6x15_seed3"]
+    scenario = FleetScenario(config)
+    full_results = []
+    for node_id in range(config.n_nodes):
+        node = scenario.build_node(node_id)
+        assert node.log_mode == "counts"  # fleet default skips event objects
+        full = FleetNode(
+            config.node_spec(node_id),
+            duration_s=config.duration_s,
+            log_mode="full",
+        )
+        full_results.append(full.run())
+    from repro.fleet.aggregate import FleetAggregate
+
+    assert FleetAggregate.from_results(full_results).digest() == expected
+
+
+def test_experiment_results_match_seed_baseline():
+    runs = reproduce_all(
+        only=list(GOLDEN_EXPERIMENTS), scale=GOLDEN_EXPERIMENT_SCALE
+    )
+    got = {run.name: experiment_digest(run.result) for run in runs}
+    assert got == GOLDEN_EXPERIMENTS
+
+
+def test_parallel_reproduce_all_streams_canonical_order():
+    only = ["table1", "table2", "fig6-left"]
+    seen = []
+    runs = reproduce_all(
+        parallel=True, workers=2, only=only,
+        scale=GOLDEN_EXPERIMENT_SCALE,
+        on_result=lambda run: seen.append(run.name),
+    )
+    assert [run.name for run in runs] == only
+    assert seen == only

@@ -1,0 +1,43 @@
+"""Bit-equality of the pure-Python percentile against np.percentile."""
+
+import numpy as np
+import pytest
+
+from repro.ml.quantiles import percentile, percentile_of_sorted
+
+
+def test_matches_numpy_bit_for_bit_randomized():
+    rng = np.random.default_rng(7)
+    for trial in range(300):
+        n = int(rng.integers(1, 200))
+        samples = list(rng.normal(0, 100, n))
+        for q in (0, 1, 25, 50, 75, 90, 99, 99.9, 100,
+                  float(rng.uniform(0, 100))):
+            expected = float(np.percentile(np.asarray(samples), q))
+            assert percentile(samples, q) == expected
+
+
+def test_matches_numpy_on_duplicates_and_extremes():
+    cases = [
+        [0.0],
+        [1.0, 1.0, 1.0],
+        [5.0, -5.0],
+        [float(i) for i in range(10)],
+        [1e300, -1e300, 0.0, 1e-300],
+    ]
+    for samples in cases:
+        for q in (0, 10, 50, 90, 100):
+            assert percentile(samples, q) == float(
+                np.percentile(np.asarray(samples), q)
+            )
+
+
+def test_sorted_form_accepts_numpy_arrays():
+    samples = np.array([3.0, 1.0, 2.0])
+    ordered = np.sort(samples)
+    assert percentile_of_sorted(ordered, 50) == 2.0
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)

@@ -1,0 +1,102 @@
+"""The repro bench harness: scenarios, report schema, regression gate."""
+
+import json
+
+import pytest
+
+import repro.perf.legacy as legacy_impl
+import repro.sim as live_impl
+from repro.perf import build_report, compare_reports, render_report, write_report
+from repro.perf.microbench import MICROBENCHMARKS, run_microbench
+
+#: Tiny scale so the whole module runs in well under a second.
+SCALE = 0.02
+
+
+@pytest.mark.parametrize("name", sorted(MICROBENCHMARKS))
+@pytest.mark.parametrize(
+    "impl", [live_impl, legacy_impl], ids=["optimized", "legacy"]
+)
+def test_microbench_scenarios_run_on_both_kernels(name, impl):
+    result = run_microbench(name, impl, scale=SCALE, repeats=1)
+    assert result.events > 0
+    assert result.wall_s > 0
+    assert result.ns_per_event > 0
+
+
+def test_legacy_kernel_is_behaviorally_equivalent():
+    """Same workload, same simulated outcome, on both implementations."""
+    outcomes = []
+    for impl in (live_impl, legacy_impl):
+        kernel = impl.Kernel()
+        queue = impl.SimQueue(kernel, capacity=1)
+        log = []
+
+        def producer():
+            for i in range(20):
+                queue.put(i)
+                yield 30
+
+        def consumer():
+            while len(log) < 20:
+                item = yield from queue.get(timeout_us=100)
+                if item is not impl.QUEUE_TIMEOUT:
+                    log.append((kernel.now, item))
+
+        kernel.spawn(producer(), name="p")
+        kernel.spawn(consumer(), name="c")
+        kernel.run()
+        outcomes.append((log, kernel.now))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_quick_report_schema_and_roundtrip(tmp_path):
+    report = build_report(quick=True, repeats=1)
+    assert report["quick"] is True
+    assert "end_to_end" not in report
+    micro = report["microbench"]
+    assert set(MICROBENCHMARKS) <= set(micro)
+    assert micro["geomean_speedup"] > 0
+    for name in MICROBENCHMARKS:
+        entry = micro[name]
+        assert entry["speedup"] > 0
+        for side in ("optimized", "legacy"):
+            assert entry[side]["events"] > 0
+    path = tmp_path / "bench.json"
+    write_report(report, str(path))
+    assert json.loads(path.read_text()) == report
+    assert "repro bench" in render_report(report)
+
+
+def _fake_report(speedups, digest_ok=None):
+    report = {
+        "schema": 1,
+        "microbench": {
+            name: {"speedup": value} for name, value in speedups.items()
+        },
+    }
+    if digest_ok is not None:
+        report["end_to_end"] = {"fleet_mixed_6x15": {"digest_ok": digest_ok}}
+    return report
+
+
+def test_compare_reports_passes_within_tolerance():
+    baseline = _fake_report({"a": 4.0, "b": 2.0})
+    new = _fake_report({"a": 3.2, "b": 1.6})  # exactly -20%
+    assert compare_reports(new, baseline, max_regression=0.25) == []
+
+
+def test_compare_reports_flags_regression_and_missing():
+    baseline = _fake_report({"a": 4.0, "b": 2.0})
+    new = _fake_report({"a": 2.9})  # -27.5% and 'b' missing
+    problems = compare_reports(new, baseline, max_regression=0.25)
+    assert len(problems) == 2
+    assert any("regressed" in p for p in problems)
+    assert any("missing" in p for p in problems)
+
+
+def test_compare_reports_flags_digest_mismatch():
+    baseline = _fake_report({"a": 1.0})
+    new = _fake_report({"a": 1.0}, digest_ok=False)
+    problems = compare_reports(new, baseline)
+    assert any("digest" in p for p in problems)

@@ -1,0 +1,165 @@
+"""Cancellable timers, lazy deletion, event pooling, O(1) waiter discard."""
+
+import pytest
+
+from repro.sim import Kernel, SchedulingError, SimQueue, QUEUE_TIMEOUT
+from repro.sim.kernel import Timer
+from repro.sim.units import MS, SEC
+
+
+def test_call_later_returns_cancellable_timer():
+    kernel = Kernel()
+    fired = []
+    timer = kernel.call_later(10, lambda: fired.append("t"))
+    assert isinstance(timer, Timer)
+    assert not timer.cancelled and not timer.fired
+    timer.cancel()
+    assert timer.cancelled
+    kernel.run()
+    assert fired == []
+    assert not timer.fired
+
+
+def test_cancel_after_fire_is_noop():
+    kernel = Kernel()
+    fired = []
+    timer = kernel.call_later(5, lambda: fired.append("t"))
+    kernel.run()
+    assert fired == ["t"] and timer.fired
+    timer.cancel()
+    assert timer.fired and not timer.cancelled
+
+
+def test_double_cancel_is_noop():
+    kernel = Kernel()
+    timer = kernel.call_at(10, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    assert timer.cancelled
+    kernel.run()
+
+
+def test_pending_events_excludes_cancelled_timers():
+    kernel = Kernel()
+    keep = kernel.call_later(10, lambda: None)
+    drop = kernel.call_later(20, lambda: None)
+    assert kernel.pending_events == 2
+    drop.cancel()
+    assert kernel.pending_events == 1
+    assert keep is not drop
+
+
+def test_heap_compaction_under_mass_cancellation():
+    kernel = Kernel()
+    timers = [kernel.call_later(1000 + i, lambda: None) for i in range(500)]
+    for timer in timers[:-1]:
+        timer.cancel()
+    # Lazy deletion must not retain ~500 dead entries once they dominate.
+    assert len(kernel._heap) < 100
+    assert kernel.pending_events == 1
+    fired = []
+    kernel.call_later(2000, lambda: fired.append("live"))
+    kernel.run()
+    assert fired == ["live"]
+
+
+def test_succeed_later_equivalent_to_closure_timer():
+    kernel = Kernel()
+    event = kernel.event("payload")
+    kernel.succeed_later(7, event, "value")
+    kernel.run()
+    assert event.succeeded and event.value == "value"
+
+
+def test_succeed_later_negative_delay_raises():
+    kernel = Kernel()
+    with pytest.raises(SchedulingError):
+        kernel.succeed_later(-1, kernel.event(), None)
+
+
+def test_queue_get_success_cancels_its_timeout_timer():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield from queue.get(timeout_us=5 * SEC)
+        got.append(item)
+
+    kernel.spawn(consumer(), name="consumer")
+    kernel.call_later(1 * MS, lambda: queue.put("fresh"))
+    kernel.run(until=2 * MS)
+    assert got == ["fresh"]
+    # The 5 s timeout must be dead: no pending live event remains.
+    assert kernel.pending_events == 0
+
+
+def test_queue_timeout_still_fires_and_unregisters_waiter():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield from queue.get(timeout_us=10 * MS)
+        got.append(item)
+
+    kernel.spawn(consumer(), name="consumer")
+    kernel.run()
+    assert got == [QUEUE_TIMEOUT]
+    # A later put must not be swallowed by the dead waiter.
+    queue.put("later")
+    assert len(queue) == 1
+
+
+def test_event_pool_reuse_is_safe_across_gets():
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=1)
+    got = []
+
+    def producer():
+        for i in range(50):
+            queue.put(i)
+            yield 10
+
+    def consumer():
+        for _ in range(50):
+            item = yield from queue.get(timeout_us=1000)
+            got.append(item)
+
+    kernel.spawn(producer(), name="producer")
+    kernel.spawn(consumer(), name="consumer")
+    kernel.run()
+    assert got == list(range(50))
+
+
+def test_discard_waiter_is_correct_in_any_kill_order():
+    kernel = Kernel()
+    event = kernel.event("shared")
+    woken = []
+
+    def waiter(tag):
+        value = yield event
+        woken.append((tag, value))
+
+    processes = [
+        kernel.spawn(waiter(i), name=f"w{i}") for i in range(7)
+    ]
+    kernel.run(until=1)
+    # Kill from the middle and ends; survivors must all still wake.
+    for index in (3, 0, 6, 1):
+        processes[index].kill()
+    event.succeed("go")
+    kernel.run()
+    assert sorted(tag for tag, _ in woken) == [2, 4, 5]
+    assert all(value == "go" for _, value in woken)
+
+
+def test_run_until_with_pending_cancelled_head_entry():
+    kernel = Kernel()
+    fired = []
+    head = kernel.call_later(5, lambda: fired.append("dead"))
+    kernel.call_later(10, lambda: fired.append("live"))
+    head.cancel()
+    kernel.run(until=20)
+    assert fired == ["live"]
+    assert kernel.now == 20
