@@ -34,7 +34,7 @@ from repro.agents.harvest.config import HarvestConfig
 from repro.core.interfaces import Model
 from repro.core.prediction import Prediction
 from repro.ml.costsensitive import CostSensitiveClassifier, asymmetric_core_costs
-from repro.ml.features import FEATURE_NAMES, distributional_features
+from repro.ml.features import FEATURE_NAMES, FeatureExtractor
 from repro.ml.metrics import RollingRate
 from repro.node.faults import ModelBreaker
 from repro.node.hypervisor import Hypervisor
@@ -93,6 +93,11 @@ class HarvestModel(Model):
         self._previous_features: Optional[np.ndarray] = None
         self._latest_features: Optional[np.ndarray] = None
         self._latest_window: Optional[UsageWindow] = None
+        # Per-agent extraction scratch: the extractor reuses its sort/
+        # deviation buffers across epochs, and the normalized-samples
+        # staging buffer below is only read within one extraction call.
+        self._extract_features = FeatureExtractor()
+        self._scaled_samples = np.empty(0)
         self._recent_maxima: Deque[float] = deque(
             maxlen=config.recent_max_epochs
         )
@@ -161,9 +166,12 @@ class HarvestModel(Model):
         peak = max(0.0, float(window.samples.max()))
         label = min(self.n_classes - 1, math.ceil(peak))
         self._recent_maxima.append(peak)
-        features = distributional_features(
-            window.samples / self.hypervisor.n_cores
-        )
+        samples = window.samples
+        if self._scaled_samples.size < samples.size:
+            self._scaled_samples = np.empty(samples.size)
+        scaled = self._scaled_samples[:samples.size]
+        np.divide(samples, self.hypervisor.n_cores, out=scaled)
+        features = self._extract_features(scaled)
         if self._previous_features is not None:
             costs = asymmetric_core_costs(
                 label,

@@ -92,6 +92,10 @@ class OverclockModel(Model):
         )
         # what the model last asked for: (action, policy_driven)
         self._last_choice: Optional[Tuple[int, bool]] = None
+        # action-table staging for _nearest_action, built once instead
+        # of re-converting the config tuple on every epoch and default
+        # prediction
+        self._frequencies = np.asarray(config.frequencies_ghz)
 
     # -- Model interface ------------------------------------------------------
 
@@ -197,8 +201,7 @@ class OverclockModel(Model):
     # -- internals ----------------------------------------------------------------
 
     def _nearest_action(self, freq_ghz: float) -> int:
-        frequencies = np.asarray(self.config.frequencies_ghz)
-        return int(np.argmin(np.abs(frequencies - freq_ghz)))
+        return int(np.argmin(np.abs(self._frequencies - freq_ghz)))
 
     def _reward(self, ips: float, freq_ghz: float) -> float:
         """Normalized throughput minus the cubic power cost of the clock."""

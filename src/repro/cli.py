@@ -5,8 +5,10 @@ Subcommands::
     repro list                      # artifacts and agent kinds
     repro run fig1 [fig2 ...]       # named table/figure reproductions
     repro fleet --nodes 64 --agent overclock --workers 8
-    repro reproduce-all [--parallel] [--quick] [--emit-experiments PATH]
-    repro bench [--quick] [--output PATH] [--check-against PATH]
+    repro reproduce-all [--parallel] [--granularity series|artifact]
+                        [--quick] [--emit-experiments PATH]
+    repro bench [--suite kernel|ml] [--quick] [--output PATH]
+                [--check-against PATH]
 
 ``fleet`` prints a fleet-wide report ending in a content digest; runs
 with the same seed agree on the digest regardless of ``--workers``,
@@ -84,8 +86,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "reproduce-all", help="regenerate every table and figure"
     )
     rall.add_argument("--parallel", action="store_true",
-                      help="one artifact per worker process")
+                      help="shard the pass across worker processes")
     rall.add_argument("--workers", type=int, default=None)
+    rall.add_argument(
+        "--granularity", choices=("series", "artifact"), default="series",
+        help="parallel work-unit size: independent (artifact, series) "
+             "scenarios (default; scales past the artifact count) or "
+             "whole artifacts (the pre-sharding behavior)",
+    )
     rall.add_argument("--quick", action="store_true")
     rall.add_argument(
         "--emit-experiments", metavar="PATH", default=None,
@@ -94,8 +102,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="kernel microbenchmarks + end-to-end timings "
-             "(vs the frozen seed kernel)",
+        help="microbenchmarks + end-to-end timings vs the frozen "
+             "pre-optimization implementations",
+    )
+    bench.add_argument(
+        "--suite", choices=("kernel", "ml"), default="kernel",
+        help="kernel: event kernel vs the frozen seed kernel; "
+             "ml: learning-epoch hot path vs the frozen per-class path "
+             "(default: %(default)s)",
     )
     bench.add_argument(
         "--quick", action="store_true",
@@ -103,8 +117,9 @@ def _build_parser() -> argparse.ArgumentParser:
              "(speedup ratios stay comparable)",
     )
     bench.add_argument(
-        "--output", metavar="PATH", default="BENCH_kernel.json",
-        help="where to write the JSON report (default: %(default)s)",
+        "--output", metavar="PATH", default=None,
+        help="where to write the JSON report "
+             "(default: BENCH_<suite>.json)",
     )
     bench.add_argument(
         "--check-against", metavar="PATH", default=None,
@@ -193,9 +208,12 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
         workers=args.workers,
         scale=scale,
         on_result=_print_run,
+        granularity=args.granularity,
     )
     wall = time.perf_counter() - started
-    mode = "parallel" if args.parallel else "serial"
+    mode = (
+        f"parallel/{args.granularity}" if args.parallel else "serial"
+    )
     print(f"[reproduce-all: {len(runs)} artifacts, {mode}, "
           f"{wall:.1f}s wall total]")
     if args.emit_experiments:
@@ -243,6 +261,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.perf import (
+        build_ml_report,
         build_report,
         compare_reports,
         render_report,
@@ -251,10 +270,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.repeats < 1:
         raise SystemExit("repro: error: --repeats must be >= 1")
-    report = build_report(quick=args.quick, repeats=args.repeats)
+    builder = build_ml_report if args.suite == "ml" else build_report
+    report = builder(quick=args.quick, repeats=args.repeats)
+    output = args.output or f"BENCH_{args.suite}.json"
     print(render_report(report))
-    write_report(report, args.output)
-    print(f"[wrote {args.output}]")
+    write_report(report, output)
+    print(f"[wrote {output}]")
     if args.check_against:
         with open(args.check_against, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)

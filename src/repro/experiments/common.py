@@ -8,6 +8,8 @@ measured outputs against the paper's.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -30,6 +32,7 @@ __all__ = [
     "MemoryScenario",
     "SloWatcher",
     "build_cpu_node",
+    "experiment_digest",
 ]
 
 
@@ -92,6 +95,36 @@ class ExperimentResult:
         if isinstance(value, float):
             return f"{value:.3f}"
         return str(value)
+
+
+def _canonical_cell(value: Any) -> str:
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return str(value)
+    try:
+        return repr(float(value))
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def experiment_digest(result: "ExperimentResult") -> str:
+    """Float-exact, type-canonical digest of an :class:`ExperimentResult`.
+
+    The same canonicalization the golden-digest tests pin (they keep an
+    independent copy on purpose); the bench harness uses this one to
+    record that an optimized pass still reproduces every row bit.
+    """
+    payload = json.dumps(
+        {
+            "name": result.name,
+            "columns": [str(column) for column in result.columns],
+            "rows": [
+                {str(k): _canonical_cell(v) for k, v in row.items()}
+                for row in result.rows
+            ],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class SloWatcher:

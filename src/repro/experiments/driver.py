@@ -11,9 +11,13 @@ Two fan-outs live here (DESIGN.md §5):
   :meth:`~repro.fleet.aggregate.FleetAggregate.digest`).
 
 * :func:`reproduce_all` runs every paper table/figure — serially, or
-  with each artifact dispatched to its own worker.  Every experiment is
-  already deterministic given a seed, so the parallel path reproduces
-  the serial rows exactly; only wall-clock changes.
+  sharded below artifact granularity: every decomposed figure
+  (see :data:`SERIES_SPECS`) contributes one work unit per independent
+  ``(artifact, series)`` scenario, so the full pass scales past the
+  twelve artifacts and fig7's nine 1500-sim-second scenarios spread
+  across the pool instead of wall-clocking the tail.  Every unit is
+  deterministic given its arguments alone, so the parallel pass
+  reproduces the serial rows exactly; only wall-clock changes.
 
 Workers are plain processes; each imports :mod:`repro` afresh, so the
 pool works both with an installed package and with the ``src/``-path
@@ -37,8 +41,10 @@ from repro.fleet.scenario import FleetScenario
 
 __all__ = [
     "ARTIFACTS",
+    "SERIES_SPECS",
     "ArtifactRun",
     "FleetDriver",
+    "artifact_units",
     "reproduce_all",
 ]
 
@@ -168,8 +174,40 @@ ARTIFACT_SPECS: Dict[str, Tuple[str, Callable[[float], Dict[str, Any]]]] = {
 #: Canonical artifact order (paper order).
 ARTIFACTS: Tuple[str, ...] = tuple(ARTIFACT_SPECS)
 
+#: Sub-artifact series registry (DESIGN.md §7): artifact -> the dotted
+#: paths of its ``series``/``unit``/``assemble`` triple.  Artifacts not
+#: listed here (tables, the fig5 time series) are single-kernel and run
+#: whole.  Each triple obeys the work-unit contract: ``series(**kwargs)``
+#: lists canonical unit keys without simulating anything, ``unit(key,
+#: **kwargs)`` runs one key to a small picklable payload seeded only by
+#: its arguments, and ``assemble(units, **kwargs)`` derives the rows —
+#: so shard shape and completion order cannot affect a single row bit.
+SERIES_SPECS: Dict[str, Tuple[str, str, str]] = {
+    "fig1": ("overclock.fig1_series", "overclock.fig1_unit",
+             "overclock.fig1_assemble"),
+    "fig2": ("overclock.fig2_series", "overclock.fig2_unit",
+             "overclock.fig2_assemble"),
+    "fig3": ("overclock.fig3_series", "overclock.fig3_unit",
+             "overclock.fig3_assemble"),
+    "fig4": ("overclock.fig4_series", "overclock.fig4_unit",
+             "overclock.fig4_assemble"),
+    "fig6-left": ("harvest.fig6_invalid_data_series",
+                  "harvest.fig6_invalid_data_unit",
+                  "harvest.fig6_invalid_data_assemble"),
+    "fig6-middle": ("harvest.fig6_broken_model_series",
+                    "harvest.fig6_broken_model_unit",
+                    "harvest.fig6_broken_model_assemble"),
+    "fig6-right": ("harvest.fig6_delayed_predictions_series",
+                   "harvest.fig6_delayed_predictions_unit",
+                   "harvest.fig6_delayed_predictions_assemble"),
+    "fig7": ("memory.fig7_series", "memory.fig7_unit",
+             "memory.fig7_assemble"),
+    "fig8": ("memory.fig8_series", "memory.fig8_unit",
+             "memory.fig8_assemble"),
+}
 
-def _resolve(path: str) -> Callable[..., ExperimentResult]:
+
+def _resolve(path: str) -> Callable[..., Any]:
     module_name, func_name = path.rsplit(".", 1)
     module = __import__(
         f"repro.experiments.{module_name}", fromlist=[func_name]
@@ -194,40 +232,125 @@ def _run_artifact(payload: Tuple[str, float]) -> ArtifactRun:
     return ArtifactRun(name, result, time.perf_counter() - started)
 
 
+def _run_series_unit(
+    payload: Tuple[str, Optional[str], float]
+) -> Tuple[str, Optional[str], Any, float]:
+    """Worker entry: one ``(artifact, series)`` unit (or whole artifact)."""
+    name, series, scale = payload
+    started = time.perf_counter()
+    if series is None:
+        run = _run_artifact((name, scale))
+        return name, None, run.result, run.wall_seconds
+    _series_path, unit_path, _assemble_path = SERIES_SPECS[name]
+    _path, kwargs_builder = ARTIFACT_SPECS[name]
+    result = _resolve(unit_path)(series, **kwargs_builder(scale))
+    return name, series, result, time.perf_counter() - started
+
+
+def artifact_units(name: str, scale: float) -> List[Tuple[str, Optional[str]]]:
+    """The ``(artifact, series)`` work units of one artifact.
+
+    Single-kernel artifacts yield one ``(name, None)`` unit; decomposed
+    artifacts yield one unit per series key, in canonical key order.
+    """
+    spec = SERIES_SPECS.get(name)
+    if spec is None:
+        return [(name, None)]
+    series_path, _unit_path, _assemble_path = spec
+    _path, kwargs_builder = ARTIFACT_SPECS[name]
+    keys = _resolve(series_path)(**kwargs_builder(scale))
+    return [(name, key) for key in keys]
+
+
+def _estimated_unit_cost(name: str, n_units: int, scale: float) -> float:
+    """Rough per-unit cost for longest-first dispatch (simulated seconds
+    split across the artifact's units; tables get a nominal epsilon)."""
+    _path, kwargs_builder = ARTIFACT_SPECS[name]
+    seconds = kwargs_builder(scale).get("seconds", 0)
+    return max(float(seconds), 1.0) / max(n_units, 1)
+
+
+def _assemble_artifact(
+    name: str,
+    scale: float,
+    units: Dict[Optional[str], Any],
+    wall_seconds: float,
+) -> ArtifactRun:
+    if None in units:  # whole-artifact unit: the result *is* the payload
+        return ArtifactRun(name, units[None], wall_seconds)
+    _series_path, _unit_path, assemble_path = SERIES_SPECS[name]
+    _path, kwargs_builder = ARTIFACT_SPECS[name]
+    result = _resolve(assemble_path)(units, **kwargs_builder(scale))
+    return ArtifactRun(name, result, wall_seconds)
+
+
 def reproduce_all(
     parallel: bool = False,
     workers: Optional[int] = None,
     scale: float = 1.0,
     only: Optional[Sequence[str]] = None,
     on_result: Optional[Callable[[ArtifactRun], None]] = None,
+    granularity: str = "series",
 ) -> List[ArtifactRun]:
     """Regenerate every table and figure, serially or sharded.
 
     Args:
-        parallel: dispatch one artifact per worker process.
+        parallel: shard the pass across worker processes.
         workers: pool size (default: CPU count, capped at the number of
-            artifacts).
+            work units).
         scale: duration scale; ``~0.33`` is the ``--quick`` pass.
         only: restrict to these artifact names (canonical order kept).
         on_result: called with each run as soon as it is available, in
             canonical order — lets callers stream output during a
             minutes-long full pass instead of printing at the end.
+        granularity: ``"series"`` (default) dispatches independent
+            ``(artifact, series)`` units so the pass scales past the
+            twelve artifacts and fig7's nine scenarios no longer
+            serialize the tail; ``"artifact"`` keeps the pre-sharding
+            one-artifact-per-unit behavior (the bench baseline).
 
     Returns:
         Runs in canonical (paper) order regardless of completion order.
+        In parallel series mode each run's ``wall_seconds`` is the *sum*
+        of its units' walls (its CPU cost), not its elapsed span.
     """
+    if granularity not in ("series", "artifact"):
+        raise ValueError(f"unknown granularity {granularity!r}")
     names = [n for n in ARTIFACTS if only is None or n in only]
     unknown = set(only or ()) - set(ARTIFACTS)
     if unknown:
         raise ValueError(f"unknown artifacts: {sorted(unknown)}")
-    payloads = [(name, scale) for name in names]
+    # Series granularity can shard a *single* artifact (fig7 alone is
+    # nine units), so the serial fallback keys on the work-unit count,
+    # not the artifact count.
+    shardable = len(names) > 1 or (
+        granularity == "series"
+        and len(names) == 1
+        and len(artifact_units(names[0], scale)) > 1
+    )
     runs: List[ArtifactRun] = []
-    if not parallel or len(names) <= 1:
-        for payload in payloads:
-            runs.append(_run_artifact(payload))
+    if not parallel or not shardable:
+        for name in names:
+            runs.append(_run_artifact((name, scale)))
             if on_result is not None:
                 on_result(runs[-1])
         return runs
+    if granularity == "artifact":
+        return _reproduce_artifact_granular(
+            names, workers, scale, on_result
+        )
+    return _reproduce_series_granular(names, workers, scale, on_result)
+
+
+def _reproduce_artifact_granular(
+    names: List[str],
+    workers: Optional[int],
+    scale: float,
+    on_result: Optional[Callable[[ArtifactRun], None]],
+) -> List[ArtifactRun]:
+    """One artifact per work unit (the pre-sharding parallel path)."""
+    payloads = [(name, scale) for name in names]
+    runs: List[ArtifactRun] = []
     pool_size = min(workers or os.cpu_count() or 1, len(names))
     context = _pool_context()
     with context.Pool(
@@ -245,6 +368,64 @@ def reproduce_all(
             completed[run.name] = run
             while emit_index < len(names) and names[emit_index] in completed:
                 ready = completed.pop(names[emit_index])
+                emit_index += 1
+                runs.append(ready)
+                if on_result is not None:
+                    on_result(ready)
+    return runs
+
+
+def _reproduce_series_granular(
+    names: List[str],
+    workers: Optional[int],
+    scale: float,
+    on_result: Optional[Callable[[ArtifactRun], None]],
+) -> List[ArtifactRun]:
+    """Sub-artifact sharding: one (artifact, series) scenario per unit."""
+    units_by_artifact = {name: artifact_units(name, scale) for name in names}
+    payloads = [
+        (name, series, scale)
+        for name in names
+        for (_name, series) in units_by_artifact[name]
+    ]
+    # Longest-estimated-first dispatch keeps the 1500-sim-second fig7
+    # scenarios from landing last and re-creating the straggler tail the
+    # decomposition exists to remove.  The sort is deterministic (cost,
+    # then original order) and cannot affect results, only wall time.
+    order = {name: i for i, name in enumerate(names)}
+    payloads.sort(
+        key=lambda p: (
+            -_estimated_unit_cost(p[0], len(units_by_artifact[p[0]]), scale),
+            order[p[0]],
+        )
+    )
+    collected: Dict[str, Dict[Optional[str], Any]] = {n: {} for n in names}
+    walls: Dict[str, float] = {n: 0.0 for n in names}
+    remaining: Dict[str, int] = {
+        n: len(units_by_artifact[n]) for n in names
+    }
+    assembled: Dict[str, ArtifactRun] = {}
+    runs: List[ArtifactRun] = []
+    emit_index = 0
+    pool_size = min(workers or os.cpu_count() or 1, len(payloads))
+    context = _pool_context()
+    with context.Pool(
+        processes=pool_size,
+        initializer=_init_worker,
+        initargs=(list(sys.path),),
+    ) as pool:
+        for name, series, payload, wall in pool.imap_unordered(
+            _run_series_unit, payloads
+        ):
+            collected[name][series] = payload
+            walls[name] += wall
+            remaining[name] -= 1
+            if remaining[name] == 0:
+                assembled[name] = _assemble_artifact(
+                    name, scale, collected.pop(name), walls[name]
+                )
+            while emit_index < len(names) and names[emit_index] in assembled:
+                ready = assembled.pop(names[emit_index])
                 emit_index += 1
                 runs.append(ready)
                 if on_result is not None:

@@ -1,8 +1,17 @@
-"""SmartMemory experiments: Figures 7 and 8."""
+"""SmartMemory experiments: Figures 7 and 8.
+
+Both figures are decomposed into independent series units (DESIGN.md
+§7): Figure 7 into one ``workload × policy`` scenario per unit (nine
+units — this is the ``reproduce-all`` straggler, 1500 simulated seconds
+per scenario, so sub-artifact sharding matters most here), Figure 8
+into one safeguard variant per unit.  The serial entry points run the
+same units in order, so parallel passes are row-identical by
+construction.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, List, Mapping
 
 from repro.agents.memory import MemoryConfig, StaticScanController
 from repro.core.safeguards import SafeguardPolicy
@@ -33,6 +42,93 @@ MEMORY_TRACES: Dict[str, Callable] = {
     "SpecJBB": _trace_factory(SPECJBB_MEM),
 }
 
+# -- Figure 7 ----------------------------------------------------------------
+
+_FIG7_POLICIES = ("static-300ms", "static-9.6s", "SmartMemory")
+
+
+def fig7_series(**_kwargs: Any) -> List[str]:
+    """One unit per workload × scanning policy."""
+    return [
+        f"{workload}/{policy}"
+        for workload in MEMORY_TRACES
+        for policy in _FIG7_POLICIES
+    ]
+
+
+def fig7_unit(
+    series: str,
+    seconds: int = 1800,
+    seed: int = 0,
+    n_regions: int = 256,
+    warmup_seconds: int = 300,
+) -> Dict[str, Any]:
+    """One memory scenario; raw watcher statistics as the payload."""
+    workload_name, policy_name = series.split("/")
+    trace_factory = MEMORY_TRACES[workload_name]
+    config = MemoryConfig()
+
+    def max_controller(kernel, memory):
+        return StaticScanController(
+            kernel, memory, config.scan_periods_us[0], config
+        )
+
+    def min_controller(kernel, memory):
+        return StaticScanController(
+            kernel, memory, config.scan_periods_us[-1], config
+        )
+
+    kwargs: Dict[str, Any] = {
+        "static-300ms": dict(controller_factory=max_controller, agent=False),
+        "static-9.6s": dict(controller_factory=min_controller, agent=False),
+        "SmartMemory": dict(),
+    }[policy_name]
+    scenario = MemoryScenario.build(
+        trace_factory,
+        seed=seed,
+        n_regions=n_regions,
+        warmup_seconds=warmup_seconds,
+        **kwargs,
+    ).run(seconds)
+    watcher = scenario.watcher
+    return {
+        "steady_state_resets": watcher.steady_state_resets(),
+        "mean_local_regions": watcher.mean_local_regions(),
+        "slo_attainment": watcher.slo_attainment(),
+    }
+
+
+def fig7_assemble(
+    units: Mapping[str, Dict[str, Any]],
+    seconds: int = 1800,
+    seed: int = 0,
+    n_regions: int = 256,
+    warmup_seconds: int = 300,
+) -> ExperimentResult:
+    """Reduce raw watcher stats to the paper's three stacked metrics."""
+    result = ExperimentResult(
+        name="fig7",
+        title="SmartMemory vs static access-bit scanning",
+        columns=["workload", "policy", "reset_reduction_pct",
+                 "local_reduction_pct", "slo_attainment"],
+    )
+    for workload_name in MEMORY_TRACES:
+        max_resets = units[f"{workload_name}/static-300ms"][
+            "steady_state_resets"
+        ]
+        for policy_name in _FIG7_POLICIES:
+            cell = units[f"{workload_name}/{policy_name}"]
+            result.add_row(
+                workload=workload_name,
+                policy=policy_name,
+                reset_reduction_pct=100.0
+                * (1.0 - cell["steady_state_resets"] / max_resets),
+                local_reduction_pct=100.0
+                * (1.0 - cell["mean_local_regions"] / n_regions),
+                slo_attainment=cell["slo_attainment"],
+            )
+    return result
+
 
 def fig7_smartmemory_vs_static(
     seconds: int = 1800,
@@ -50,53 +146,79 @@ def fig7_smartmemory_vs_static(
     * ``slo_attainment`` — fraction of 5 s windows with ≥80% local
       accesses (bottom plot; min-frequency collapses).
     """
-    config = MemoryConfig()
-    result = ExperimentResult(
-        name="fig7",
-        title="SmartMemory vs static access-bit scanning",
-        columns=["workload", "policy", "reset_reduction_pct",
-                 "local_reduction_pct", "slo_attainment"],
+    units = {
+        key: fig7_unit(
+            key, seconds=seconds, seed=seed, n_regions=n_regions,
+            warmup_seconds=warmup_seconds,
+        )
+        for key in fig7_series()
+    }
+    return fig7_assemble(
+        units, seconds=seconds, seed=seed, n_regions=n_regions,
+        warmup_seconds=warmup_seconds,
     )
 
-    def max_controller(kernel, memory):
-        return StaticScanController(
-            kernel, memory, config.scan_periods_us[0], config
+
+# -- Figure 8 ----------------------------------------------------------------
+
+_FIG8_VARIANTS = ("none", "actuator-only", "model-only", "all")
+
+
+def _fig8_policy(name: str) -> SafeguardPolicy:
+    return {
+        "none": SafeguardPolicy(assess_model=False, assess_actuator=False),
+        "actuator-only": SafeguardPolicy(assess_model=False),
+        "model-only": SafeguardPolicy(assess_actuator=False),
+        "all": SafeguardPolicy.all_enabled(),
+    }[name]
+
+
+def fig8_series(**_kwargs: Any) -> List[str]:
+    return list(_FIG8_VARIANTS)
+
+
+def fig8_unit(
+    series: str, seconds: int = 920, seed: int = 0, n_regions: int = 256
+) -> Dict[str, Any]:
+    """One oscillating-SpecJBB run under a safeguard-ablation variant."""
+
+    def trace_factory(kernel, memory, streams):
+        return OscillatingMemoryTrace(
+            kernel, memory, streams.get("trace"), SPECJBB_MEM
         )
 
-    def min_controller(kernel, memory):
-        return StaticScanController(
-            kernel, memory, config.scan_periods_us[-1], config
-        )
+    scenario = MemoryScenario.build(
+        trace_factory, seed=seed, n_regions=n_regions,
+        policy=_fig8_policy(series),
+    ).run(seconds)
+    stats = scenario.agent.runtime.stats()
+    return {
+        "slo_attainment": scenario.watcher.slo_attainment(),
+        "mitigations": stats["mitigations"],
+        "interceptions": stats["interceptions"],
+    }
 
-    for workload_name, trace_factory in MEMORY_TRACES.items():
-        cells = {}
-        for policy_name, kwargs in (
-            ("static-300ms", dict(controller_factory=max_controller,
-                                  agent=False)),
-            ("static-9.6s", dict(controller_factory=min_controller,
-                                 agent=False)),
-            ("SmartMemory", dict()),
-        ):
-            scenario = MemoryScenario.build(
-                trace_factory,
-                seed=seed,
-                n_regions=n_regions,
-                warmup_seconds=warmup_seconds,
-                **kwargs,
-            ).run(seconds)
-            cells[policy_name] = scenario
-        max_resets = cells["static-300ms"].watcher.steady_state_resets()
-        for policy_name, scenario in cells.items():
-            watcher = scenario.watcher
-            result.add_row(
-                workload=workload_name,
-                policy=policy_name,
-                reset_reduction_pct=100.0
-                * (1.0 - watcher.steady_state_resets() / max_resets),
-                local_reduction_pct=100.0
-                * (1.0 - watcher.mean_local_regions() / n_regions),
-                slo_attainment=watcher.slo_attainment(),
-            )
+
+def fig8_assemble(
+    units: Mapping[str, Dict[str, Any]],
+    seconds: int = 920,
+    seed: int = 0,
+    n_regions: int = 256,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig8",
+        title="Safeguard ablation on the oscillating SpecJBB workload",
+        columns=["safeguards", "slo_attainment", "mitigations",
+                 "interceptions"],
+    )
+    for name in _FIG8_VARIANTS:
+        cell = units[name]
+        result.add_row(
+            safeguards=name,
+            slo_attainment=cell["slo_attainment"],
+            mitigations=cell["mitigations"],
+            interceptions=cell["interceptions"],
+        )
     return result
 
 
@@ -111,33 +233,10 @@ def fig8_memory_safeguards(
     wake.  SLO attainment across the safeguard ablation lattice — the
     paper reports 66% with no safeguards and 90% with all.
     """
-
-    def trace_factory(kernel, memory, streams):
-        return OscillatingMemoryTrace(
-            kernel, memory, streams.get("trace"), SPECJBB_MEM
-        )
-
-    result = ExperimentResult(
-        name="fig8",
-        title="Safeguard ablation on the oscillating SpecJBB workload",
-        columns=["safeguards", "slo_attainment", "mitigations",
-                 "interceptions"],
+    units = {
+        key: fig8_unit(key, seconds=seconds, seed=seed, n_regions=n_regions)
+        for key in fig8_series()
+    }
+    return fig8_assemble(
+        units, seconds=seconds, seed=seed, n_regions=n_regions
     )
-    variants = (
-        ("none", SafeguardPolicy(assess_model=False, assess_actuator=False)),
-        ("actuator-only", SafeguardPolicy(assess_model=False)),
-        ("model-only", SafeguardPolicy(assess_actuator=False)),
-        ("all", SafeguardPolicy.all_enabled()),
-    )
-    for name, policy in variants:
-        scenario = MemoryScenario.build(
-            trace_factory, seed=seed, n_regions=n_regions, policy=policy
-        ).run(seconds)
-        stats = scenario.agent.runtime.stats()
-        result.add_row(
-            safeguards=name,
-            slo_attainment=scenario.watcher.slo_attainment(),
-            mitigations=stats["mitigations"],
-            interceptions=stats["interceptions"],
-        )
-    return result

@@ -9,7 +9,11 @@ Each agent's model maps to one learner here:
 
 from repro.ml.bandits import BetaThompsonSampler
 from repro.ml.costsensitive import CostSensitiveClassifier, asymmetric_core_costs
-from repro.ml.features import FEATURE_NAMES, distributional_features
+from repro.ml.features import (
+    FEATURE_NAMES,
+    FeatureExtractor,
+    distributional_features,
+)
 from repro.ml.linear import OnlineLinearRegression
 from repro.ml.metrics import Ewma, RollingMean, RollingRate, StreamingMeanVar
 from repro.ml.qlearning import QLearner
@@ -19,6 +23,7 @@ __all__ = [
     "CostSensitiveClassifier",
     "Ewma",
     "FEATURE_NAMES",
+    "FeatureExtractor",
     "OnlineLinearRegression",
     "QLearner",
     "RollingMean",

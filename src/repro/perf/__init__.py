@@ -2,15 +2,18 @@
 
 Public surface::
 
-    from repro.perf import build_report, compare_reports, write_report
+    from repro.perf import build_report, build_ml_report, compare_reports
     from repro.perf.microbench import MICROBENCHMARKS, run_microbench
+    from repro.perf.microbench_ml import ML_MICROBENCHMARKS, run_ml_microbench
 
-``repro.perf.legacy`` holds a frozen copy of the seed kernel used as the
-measurement baseline; never import it from production code.
+``repro.perf.legacy`` (seed kernel) and ``repro.perf.legacy_ml``
+(pre-vectorization ML epoch path) hold frozen copies used as the
+measurement baselines; never import them from production code.
 """
 
 from repro.perf.harness import (
     SEED_BASELINES,
+    build_ml_report,
     build_report,
     compare_reports,
     render_report,
@@ -19,6 +22,7 @@ from repro.perf.harness import (
 
 __all__ = [
     "SEED_BASELINES",
+    "build_ml_report",
     "build_report",
     "compare_reports",
     "render_report",

@@ -1,21 +1,33 @@
 """The ``repro bench`` harness: measure, record, and gate performance.
 
-Produces ``BENCH_kernel.json`` so every perf-affecting PR leaves a
+Produces ``BENCH_kernel.json`` (``--suite kernel``) and
+``BENCH_ml.json`` (``--suite ml``) so every perf-affecting PR leaves a
 recorded trajectory instead of a claim:
 
-* **Microbenchmarks** run each scenario in :mod:`repro.perf.microbench`
-  against both the live kernel (:mod:`repro.sim`) and the frozen seed
-  kernel (:mod:`repro.perf.legacy`), same machine, same process.  The
+* **Microbenchmarks** run each scenario against both the live
+  implementation and its frozen pre-optimization copy — kernel suite:
+  :mod:`repro.sim` vs :mod:`repro.perf.legacy`; ML suite:
+  :mod:`repro.ml` / :mod:`repro.node.hypervisor` vs
+  :mod:`repro.perf.legacy_ml` — same machine, same process.  The
   reported *speedups* are therefore machine-independent ratios — that is
   what :func:`compare_reports` gates on in CI.
-* **End-to-end** timings run a real fleet scenario and a
-  ``reproduce-all`` subset on the live stack, verify the fleet digest
+* **End-to-end** (kernel suite) runs a real fleet scenario and a
+  ``reproduce-all`` subset on the live stack, verifies the fleet digest
   against the pinned seed value (an optimization that changes results is
-  a bug, not a speedup), and compare wall-clock against
+  a bug, not a speedup), and compares wall-clock against
   :data:`SEED_BASELINES` — seed-commit wall times measured on the
   reference container (best-of-3; see EXPERIMENTS.md).  Absolute
   seconds are machine-dependent; the speedup column is indicative, the
   digest check is not.
+* **End-to-end** (ML suite) measures every ``reproduce-all`` work unit
+  once at full scale and reports (a) the measured serial full-pass
+  wall, (b) the *modeled* 8-worker makespans of the artifact-granular
+  and sub-artifact-granular parallel passes (an LPT schedule over the
+  measured unit walls — the reference container has one core, so a
+  multi-worker wall cannot be measured directly there; on an N-core
+  host the measured wall tracks the model), and (c) a digest check that
+  the sub-artifact-sharded pass still reproduces the golden pinned
+  artifacts bit-exactly.
 """
 
 from __future__ import annotations
@@ -23,22 +35,33 @@ from __future__ import annotations
 import json
 import math
 import time
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List
 
 import repro.perf.legacy as legacy_impl
 import repro.sim as live_impl
-from repro.perf.baselines import GOLDEN_FLEET_DIGESTS, SEED_E2E_WALL_S
+from repro.perf.baselines import (
+    GOLDEN_EXPERIMENT_DIGESTS,
+    GOLDEN_EXPERIMENT_SCALE,
+    GOLDEN_FLEET_DIGESTS,
+    SEED_E2E_WALL_S,
+)
 from repro.perf.microbench import MICROBENCHMARKS, run_microbench
+from repro.perf.microbench_ml import (
+    LIVE_ML,
+    ML_MICROBENCHMARKS,
+    run_ml_microbench,
+)
 
 __all__ = [
     "SEED_BASELINES",
+    "build_ml_report",
     "build_report",
     "compare_reports",
     "render_report",
     "write_report",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Wall-clock of the end-to-end scenarios at the seed commit (pre-
 #: optimization).  Digests pin result equivalence; these pin the
@@ -64,26 +87,53 @@ def _bench_result_dict(result: Any) -> Dict[str, Any]:
     }
 
 
-def run_microbenchmarks(
-    scale: float = 1.0, repeats: int = 3
+def _run_suite(
+    benchmarks: Dict[str, Any],
+    runner: Callable[..., Any],
+    live: Any,
+    legacy: Any,
+    scale: float,
+    repeats: int,
 ) -> Dict[str, Any]:
     """All scenarios, optimized vs legacy, interleaved for fairness."""
     section: Dict[str, Any] = {}
     speedups: List[float] = []
-    for name in MICROBENCHMARKS:
-        optimized = run_microbench(name, live_impl, scale, repeats)
-        legacy = run_microbench(name, legacy_impl, scale, repeats)
-        speedup = legacy.wall_s / optimized.wall_s
+    for name in benchmarks:
+        optimized = runner(name, live, scale, repeats)
+        frozen = runner(name, legacy, scale, repeats)
+        speedup = frozen.wall_s / optimized.wall_s
         speedups.append(speedup)
         section[name] = {
             "optimized": _bench_result_dict(optimized),
-            "legacy": _bench_result_dict(legacy),
+            "legacy": _bench_result_dict(frozen),
             "speedup": round(speedup, 2),
         }
     section["geomean_speedup"] = round(
         math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
     )
     return section
+
+
+def run_microbenchmarks(
+    scale: float = 1.0, repeats: int = 3
+) -> Dict[str, Any]:
+    """Kernel scenarios, optimized vs the frozen seed kernel."""
+    return _run_suite(
+        MICROBENCHMARKS, run_microbench, live_impl, legacy_impl,
+        scale, repeats,
+    )
+
+
+def run_ml_microbenchmarks(
+    scale: float = 1.0, repeats: int = 3
+) -> Dict[str, Any]:
+    """ML epoch scenarios, vectorized vs the frozen per-class path."""
+    import repro.perf.legacy_ml as legacy_ml_impl
+
+    return _run_suite(
+        ML_MICROBENCHMARKS, run_ml_microbench, LIVE_ML, legacy_ml_impl,
+        scale, repeats,
+    )
 
 
 def run_end_to_end() -> Dict[str, Any]:
@@ -121,7 +171,12 @@ def run_end_to_end() -> Dict[str, Any]:
     reproduce_entry.update(
         artifacts=list(REPRODUCE_SUBSET),
         scale=REPRODUCE_SCALE,
-        runs={run.name: round(run.wall_seconds, 3) for run in runs},
+        # Milliseconds with µs resolution: the tables finish in well
+        # under a millisecond, so second-resolution rounding reported
+        # them as 0.0 and made the per-artifact split useless.
+        runs_ms={
+            run.name: round(run.wall_seconds * 1000.0, 3) for run in runs
+        },
     )
     return {
         "fleet_mixed_6x15": fleet_entry,
@@ -129,8 +184,103 @@ def run_end_to_end() -> Dict[str, Any]:
     }
 
 
+def _lpt_makespan(durations: List[float], workers: int) -> float:
+    """Longest-processing-time-first schedule length on ``workers``.
+
+    The standard greedy bound: sort jobs descending, always hand the
+    next job to the least-loaded worker.  This is how the parallel
+    driver's ``imap_unordered`` behaves in the limit of cheap dispatch,
+    so it models the multi-worker wall from single-core unit timings.
+    """
+    loads = [0.0] * max(1, workers)
+    for duration in sorted(durations, reverse=True):
+        loads[loads.index(min(loads))] += duration
+    return max(loads)
+
+
+def run_ml_end_to_end(workers: int = 8) -> Dict[str, Any]:
+    """Full reproduce-all pass economics + sharded-pass digest check."""
+    from repro.experiments.common import experiment_digest
+    from repro.experiments.driver import (
+        ARTIFACTS,
+        _run_series_unit,
+        artifact_units,
+        reproduce_all,
+    )
+
+    # Measure every (artifact, series) unit once at full scale.  The
+    # serial full-pass wall is their sum plus (negligible) assembly.
+    unit_walls: Dict[str, List[float]] = {}
+    digests: Dict[str, str] = {}
+    collected: Dict[str, Dict[Any, Any]] = {}
+    started = time.perf_counter()
+    for name in ARTIFACTS:
+        unit_walls[name] = []
+        collected[name] = {}
+        for _name, series in artifact_units(name, scale=1.0):
+            _n, key, payload, wall = _run_series_unit((name, series, 1.0))
+            unit_walls[name].append(wall)
+            collected[name][key] = payload
+    from repro.experiments.driver import _assemble_artifact
+
+    for name in ARTIFACTS:
+        run = _assemble_artifact(
+            name, 1.0, collected[name], sum(unit_walls[name])
+        )
+        digests[name] = experiment_digest(run.result)
+    serial_wall = time.perf_counter() - started
+
+    artifact_durations = [sum(walls) for walls in unit_walls.values()]
+    unit_durations = [w for walls in unit_walls.values() for w in walls]
+    artifact_span = _lpt_makespan(artifact_durations, workers)
+    series_span = _lpt_makespan(unit_durations, workers)
+
+    # Golden check: the sub-artifact-sharded parallel path must still
+    # reproduce the pinned artifact digests bit-exactly.
+    check_started = time.perf_counter()
+    golden_runs = reproduce_all(
+        parallel=True,
+        workers=2,
+        only=list(GOLDEN_EXPERIMENT_DIGESTS),
+        scale=GOLDEN_EXPERIMENT_SCALE,
+        granularity="series",
+    )
+    golden_ok = all(
+        experiment_digest(run.result) == GOLDEN_EXPERIMENT_DIGESTS[run.name]
+        for run in golden_runs
+    )
+    check_wall = time.perf_counter() - check_started
+
+    return {
+        "reproduce_full_pass": {
+            "wall_s": round(serial_wall, 3),
+            "artifacts": len(artifact_durations),
+            "work_units": len(unit_durations),
+            "longest_artifact_s": round(max(artifact_durations), 3),
+            "longest_unit_s": round(max(unit_durations), 3),
+            "modeled_makespan_artifact_granular_s": round(artifact_span, 3),
+            "modeled_makespan_subartifact_s": round(series_span, 3),
+            "modeled_workers": workers,
+            "modeled_speedup": round(artifact_span / series_span, 2),
+            # µs resolution: the tables run in tens of µs and must not
+            # round to 0.0 (the satellite fix that introduced runs_ms).
+            "per_artifact_wall_s": {
+                name: round(sum(walls), 6)
+                for name, walls in unit_walls.items()
+            },
+            "digests": digests,
+        },
+        "sharded_golden_artifacts": {
+            "wall_s": round(check_wall, 3),
+            "artifacts": list(GOLDEN_EXPERIMENT_DIGESTS),
+            "scale": GOLDEN_EXPERIMENT_SCALE,
+            "digest_ok": golden_ok,
+        },
+    }
+
+
 def build_report(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
-    """The full ``repro bench`` report.
+    """The full ``repro bench`` kernel-suite report.
 
     ``quick`` shrinks the microbenchmarks (~4× fewer events) and skips
     the end-to-end section; speedup ratios remain comparable, which is
@@ -138,6 +288,7 @@ def build_report(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
     """
     report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
+        "suite": "kernel",
         "quick": quick,
         "microbench": run_microbenchmarks(
             scale=0.25 if quick else 1.0, repeats=repeats
@@ -145,6 +296,21 @@ def build_report(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
     }
     if not quick:
         report["end_to_end"] = run_end_to_end()
+    return report
+
+
+def build_ml_report(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
+    """The ``repro bench --suite ml`` report (same quick semantics)."""
+    report: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "suite": "ml",
+        "quick": quick,
+        "microbench": run_ml_microbenchmarks(
+            scale=0.25 if quick else 1.0, repeats=repeats
+        ),
+    }
+    if not quick:
+        report["end_to_end"] = run_ml_end_to_end()
     return report
 
 
@@ -183,17 +349,19 @@ def compare_reports(
                 f"{current['speedup']:.2f}x < floor {floor:.2f}x "
                 f"(baseline {entry['speedup']:.2f}x)"
             )
-    fleet = new.get("end_to_end", {}).get("fleet_mixed_6x15")
-    if fleet is not None and fleet.get("digest_ok") is False:
-        problems.append(
-            "end-to-end fleet digest mismatch: optimization changed results"
-        )
+    for name, entry in new.get("end_to_end", {}).items():
+        if isinstance(entry, dict) and entry.get("digest_ok") is False:
+            problems.append(
+                f"end-to-end {name!r} digest mismatch: "
+                "optimization changed results"
+            )
     return problems
 
 
 def render_report(report: Dict[str, Any]) -> str:
     """Human-readable summary of a report."""
-    lines = ["== repro bench =="]
+    suite = report.get("suite", "kernel")
+    lines = [f"== repro bench ({suite} suite) =="]
     micro = report.get("microbench", {})
     for name, entry in micro.items():
         if not isinstance(entry, dict):
@@ -205,7 +373,7 @@ def render_report(report: Dict[str, Any]) -> str:
         )
     if "geomean_speedup" in micro:
         lines.append(
-            f"  kernel microbenchmark geomean speedup: "
+            f"  {suite} microbenchmark geomean speedup: "
             f"{micro['geomean_speedup']:.2f}x"
         )
     for name, entry in report.get("end_to_end", {}).items():
@@ -219,4 +387,14 @@ def render_report(report: Dict[str, Any]) -> str:
         if "digest_ok" in entry:
             extra += "  digest OK" if entry["digest_ok"] else "  DIGEST MISMATCH"
         lines.append(f"  e2e {name:18s} {wall:7.2f} s wall{extra}")
+        if "modeled_makespan_subartifact_s" in entry:
+            lines.append(
+                f"      {entry['modeled_workers']}-worker makespan model: "
+                f"artifact-granular "
+                f"{entry['modeled_makespan_artifact_granular_s']:.2f} s -> "
+                f"sub-artifact {entry['modeled_makespan_subartifact_s']:.2f} s"
+                f"  ({entry['modeled_speedup']:.2f}x; longest unit "
+                f"{entry['longest_unit_s']:.2f} s over "
+                f"{entry['work_units']} units)"
+            )
     return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""ML learning-epoch microbenchmarks, runnable against either ML path.
+
+Each benchmark takes an *implementation* namespace exposing
+``CostSensitiveClassifier``, ``distributional_features``, and
+``Hypervisor`` — either :data:`LIVE_ML` (the vectorized live path) or
+:mod:`repro.perf.legacy_ml` (the frozen pre-vectorization path) — so
+``repro bench --suite ml`` can report speedups measured on the same
+machine in the same process.
+
+The scenarios isolate the 25 ms learning-epoch hot loop this PR
+attacks (it became the dominant cost once PR 2 moved the bottleneck out
+of the simulation kernel):
+
+* ``csc_predict`` / ``csc_update`` — the cost-sensitive classifier's
+  two per-epoch calls.  The seed path paid per-class Python dispatch
+  (method calls, ``asarray``/shape checks, list building) nine times
+  per call; the vectorized path is one pass over a shared weight
+  matrix.
+* ``feature_extraction`` — ``distributional_features`` over a
+  SmartHarvest-sized window (25 ms / 50 µs = 500 samples).  The seed
+  re-reduced the window for ``mean`` and twice more inside ``std``;
+  the live path folds them into one shared sum and reuses scratch.
+* ``epoch_telemetry`` — ``Hypervisor.sample_usage`` +
+  ``max_demand_over`` against a realistic change-point history (the
+  25 ms collection pattern).  The seed allocated five arrays per epoch
+  and scanned the whole retained horizon for the demand maximum.
+
+Timing uses best-of-``repeats`` wall clock per scenario, like the
+kernel suite.
+"""
+
+from __future__ import annotations
+
+import time
+from types import SimpleNamespace
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.ml.costsensitive import (
+    CostSensitiveClassifier as _LiveClassifier,
+    asymmetric_core_costs,
+)
+from repro.ml.features import distributional_features as _live_features
+from repro.node.hypervisor import Hypervisor as _LiveHypervisor
+from repro.perf.microbench import BenchResult
+
+__all__ = ["LIVE_ML", "ML_MICROBENCHMARKS", "run_ml_microbench"]
+
+#: The live implementation namespace (mirrors the legacy_ml module API).
+LIVE_ML = SimpleNamespace(
+    CostSensitiveClassifier=_LiveClassifier,
+    distributional_features=_live_features,
+    Hypervisor=_LiveHypervisor,
+)
+
+# SmartHarvest's dimensions: 8 cores -> 9 classes, 9 features, and a
+# 25 ms window of 50 µs samples.
+_N_CLASSES = 9
+_N_FEATURES = 9
+_WINDOW_SAMPLES = 500
+_EPOCH_US = 25_000
+_SAMPLE_PERIOD_US = 50
+
+
+def _feature_batch(count: int) -> np.ndarray:
+    rng = np.random.default_rng(1234)
+    return rng.uniform(0.0, 1.0, size=(count, _N_FEATURES))
+
+
+def _cost_batch(count: int) -> np.ndarray:
+    rng = np.random.default_rng(5678)
+    labels = rng.integers(0, _N_CLASSES, size=count)
+    return np.stack(
+        [asymmetric_core_costs(int(label), _N_CLASSES) for label in labels]
+    )
+
+
+def _trained_classifier(impl: Any) -> Any:
+    classifier = impl.CostSensitiveClassifier(
+        n_classes=_N_CLASSES, n_features=_N_FEATURES
+    )
+    for features, costs in zip(_feature_batch(50), _cost_batch(50)):
+        classifier.update(features, costs)
+    return classifier
+
+
+def _bench_csc_predict(impl: Any, scale: float) -> BenchResult:
+    iters = max(1, int(20_000 * scale))
+    classifier = _trained_classifier(impl)
+    batch = _feature_batch(256)
+    n_batch = len(batch)
+    started = time.perf_counter()
+    for i in range(iters):
+        classifier.predict(batch[i % n_batch])
+    return BenchResult("csc_predict", iters, time.perf_counter() - started)
+
+
+def _bench_csc_update(impl: Any, scale: float) -> BenchResult:
+    iters = max(1, int(10_000 * scale))
+    classifier = _trained_classifier(impl)
+    features = _feature_batch(256)
+    costs = _cost_batch(256)
+    n_batch = len(features)
+    started = time.perf_counter()
+    for i in range(iters):
+        j = i % n_batch
+        classifier.update(features[j], costs[j])
+    return BenchResult("csc_update", iters, time.perf_counter() - started)
+
+
+def _bench_feature_extraction(impl: Any, scale: float) -> BenchResult:
+    iters = max(1, int(10_000 * scale))
+    rng = np.random.default_rng(42)
+    windows = rng.uniform(0.0, 8.0, size=(16, _WINDOW_SAMPLES))
+    extract = impl.distributional_features
+    started = time.perf_counter()
+    for i in range(iters):
+        extract(windows[i % 16])
+    return BenchResult(
+        "feature_extraction", iters, time.perf_counter() - started
+    )
+
+
+class _FakeKernel:
+    """A ``.now``-only stand-in; the sampling path needs nothing else."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0
+
+
+def _bench_epoch_telemetry(impl: Any, scale: float) -> BenchResult:
+    # One iteration = one learning epoch: 25 demand change points at
+    # 1 ms cadence (a busy TailBench-style primary), then the 500-sample
+    # window reconstruction and the ground-truth demand maximum.
+    epochs = max(1, int(2_000 * scale))
+    kernel = _FakeKernel()
+    hypervisor = impl.Hypervisor(
+        kernel, n_cores=8, history_horizon_us=1_000_000
+    )
+    rng = np.random.default_rng(7)
+    demands = rng.uniform(0.0, 8.0, size=256)
+    noise_rng = np.random.default_rng(11)
+    step_us = 1_000
+    i = 0
+    started = time.perf_counter()
+    for _epoch in range(epochs):
+        for _change in range(_EPOCH_US // step_us):
+            kernel.now += step_us
+            hypervisor.set_demand(demands[i % 256])
+            i += 1
+        hypervisor.sample_usage(
+            _EPOCH_US, _SAMPLE_PERIOD_US, rng=noise_rng, noise_cores=0.05
+        )
+        hypervisor.max_demand_over(_EPOCH_US)
+    return BenchResult(
+        "epoch_telemetry", epochs, time.perf_counter() - started
+    )
+
+
+#: Scenario registry: name -> callable(impl, scale) -> BenchResult.
+ML_MICROBENCHMARKS: Dict[str, Callable[[Any, float], BenchResult]] = {
+    "csc_predict": _bench_csc_predict,
+    "csc_update": _bench_csc_update,
+    "feature_extraction": _bench_feature_extraction,
+    "epoch_telemetry": _bench_epoch_telemetry,
+}
+
+
+def run_ml_microbench(
+    name: str, impl: Any, scale: float = 1.0, repeats: int = 3
+) -> BenchResult:
+    """Best-of-``repeats`` run of one scenario against one implementation."""
+    bench = ML_MICROBENCHMARKS[name]
+    best: BenchResult = bench(impl, scale)
+    for _ in range(repeats - 1):
+        result = bench(impl, scale)
+        if result.wall_s < best.wall_s:
+            best = result
+    return best

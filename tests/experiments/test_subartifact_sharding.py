@@ -1,0 +1,119 @@
+"""Sub-artifact sharding: sharded passes are row-identical to serial.
+
+The work-unit contract (DESIGN.md §7) promises that decomposing an
+artifact into ``(artifact, series)`` units changes wall-clock only.
+These tests pin that: the parallel series-granular driver must emit the
+same rows as a serial pass — including for fig7, whose reduction
+normalizes each workload against its static-300ms sibling unit — and
+the golden pinned artifacts must keep their seed digests through the
+sharded path.
+"""
+
+import pytest
+
+from repro.experiments.common import experiment_digest
+from repro.experiments.driver import (
+    ARTIFACT_SPECS,
+    ARTIFACTS,
+    SERIES_SPECS,
+    _resolve,
+    artifact_units,
+    reproduce_all,
+)
+from repro.perf.baselines import (
+    GOLDEN_EXPERIMENT_DIGESTS,
+    GOLDEN_EXPERIMENT_SCALE,
+)
+
+
+def test_every_artifact_yields_work_units():
+    """Series keys resolve without simulating, and are unique."""
+    for name in ARTIFACTS:
+        units = artifact_units(name, scale=1.0)
+        assert len(units) >= 1
+        keys = [series for _name, series in units]
+        assert len(set(keys)) == len(keys)
+        if name in SERIES_SPECS:
+            assert len(units) > 1, f"{name} decomposed to a single unit"
+            assert None not in keys
+
+
+def test_series_spec_paths_resolve():
+    for name, (series_path, unit_path, assemble_path) in SERIES_SPECS.items():
+        assert name in ARTIFACT_SPECS
+        for path in (series_path, unit_path, assemble_path):
+            assert callable(_resolve(path))
+
+
+def test_decomposition_shrinks_the_straggler():
+    """fig7 (the full-pass tail) must decompose below its total cost."""
+    units = artifact_units("fig7", scale=1.0)
+    assert len(units) == 9  # 3 workloads x 3 policies
+
+
+def _rows(runs):
+    return [(run.name, run.result.columns, run.result.rows) for run in runs]
+
+
+def test_sharded_golden_artifacts_keep_seed_digests():
+    """Sub-artifact parallel pass reproduces the pinned seed digests."""
+    runs = reproduce_all(
+        parallel=True,
+        workers=2,
+        only=list(GOLDEN_EXPERIMENT_DIGESTS),
+        scale=GOLDEN_EXPERIMENT_SCALE,
+        granularity="series",
+    )
+    got = {run.name: experiment_digest(run.result) for run in runs}
+    assert got == GOLDEN_EXPERIMENT_DIGESTS
+
+
+def test_fig7_sharded_equals_serial():
+    """The cross-unit reduction (per-workload static-300ms baseline)
+    survives sharding: parallel rows == serial rows, bit for bit."""
+    serial = reproduce_all(only=["fig7"], scale=0.25)
+    parallel = reproduce_all(
+        parallel=True, workers=3, only=["fig7"], scale=0.25,
+        granularity="series",
+    )
+    assert _rows(serial) == _rows(parallel)
+
+
+def test_fig2_sharded_equals_serial():
+    """The shared-reference normalization (clean guarded run) survives
+    sharding."""
+    serial = reproduce_all(only=["fig2"], scale=0.1)
+    parallel = reproduce_all(
+        parallel=True, workers=4, only=["fig2"], scale=0.1,
+        granularity="series",
+    )
+    assert _rows(serial) == _rows(parallel)
+
+
+def test_artifact_granularity_still_matches_serial():
+    """The pre-sharding parallel path remains available as the bench
+    baseline and still reproduces serial rows."""
+    only = ["table1", "table2"]
+    serial = reproduce_all(only=only, scale=0.2)
+    parallel = reproduce_all(
+        parallel=True, workers=2, only=only, scale=0.2,
+        granularity="artifact",
+    )
+    assert _rows(serial) == _rows(parallel)
+
+
+def test_unknown_granularity_rejected():
+    with pytest.raises(ValueError):
+        reproduce_all(parallel=True, granularity="node")
+
+
+def test_streaming_stays_canonical_under_series_sharding():
+    only = ["table1", "fig2", "fig4"]
+    seen = []
+    runs = reproduce_all(
+        parallel=True, workers=3, only=only, scale=0.1,
+        granularity="series",
+        on_result=lambda run: seen.append(run.name),
+    )
+    assert [run.name for run in runs] == only
+    assert seen == only

@@ -117,3 +117,49 @@ def test_validation_errors():
         hv.sample_usage(window_us=0, period_us=1)
     with pytest.raises(ValueError):
         Hypervisor(Kernel(), n_cores=0)
+
+
+def test_history_is_a_deque_trimmed_to_horizon():
+    """Horizon trimming retires old segments from the left in O(1); the
+    retained history never grows past the horizon plus one segment."""
+    from collections import deque
+
+    kernel = Kernel()
+    hv = Hypervisor(kernel, n_cores=8, history_horizon_us=50 * MS)
+    assert isinstance(hv._history, deque)
+    for step in range(1, 2001):
+        kernel.run(until=step * MS)
+        hv.set_demand(float(step % 8))
+    assert hv._history
+    oldest_end = hv._history[0][1]
+    assert kernel.now - oldest_end <= 50 * MS + MS
+    assert len(hv._history) <= 52
+
+
+def test_max_demand_over_ignores_history_outside_window():
+    """A short window must not see a demand spike that left the window,
+    even while the spike is still inside the retained horizon."""
+    kernel = Kernel()
+    hv = Hypervisor(kernel, n_cores=8, history_horizon_us=SEC)
+    hv.set_demand(8.0)                 # spike, long gone
+    kernel.run(until=10 * MS)
+    hv.set_demand(2.0)
+    kernel.run(until=500 * MS)
+    assert hv.max_demand_over(100 * MS) == pytest.approx(2.0)
+    assert hv.max_demand_over(SEC) == pytest.approx(8.0)
+
+
+def test_sample_usage_identical_across_repeated_calls():
+    """Buffer reuse must not leak state between windows of different
+    sizes or between consecutive epochs."""
+    kernel = Kernel()
+    streams = RngStreams(3)
+    hv = Hypervisor(kernel, n_cores=8, history_horizon_us=SEC)
+    hv.set_demand(5.0)
+    kernel.run(until=100 * MS)
+    big = hv.sample_usage(50 * MS, 50)
+    small = hv.sample_usage(10 * MS, 50)
+    assert big.size == 1000 and small.size == 200
+    assert np.array_equal(small, big[-200:])
+    again = hv.sample_usage(50 * MS, 50)
+    assert np.array_equal(big, again)
