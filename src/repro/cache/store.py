@@ -1,0 +1,132 @@
+"""On-disk content-addressed payload store.
+
+Payloads are whatever a work unit returns — already required to be
+picklable for the multiprocessing driver, and pickle round-trips floats
+and nested containers bit-exactly, which the warm-run digest guarantee
+depends on.  Writes are atomic (temp file + ``os.replace``), so a
+killed run never leaves a truncated object where a key should be;
+unreadable or corrupt objects are treated as misses and overwritten.
+
+The store also keeps ``unit_walls.json`` — measured per-unit wall
+times that the driver feeds back into longest-first dispatch (replacing
+its estimated-cost heuristic; DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_MISS = object()
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR``, or ``.repro-cache`` under the working dir."""
+    return os.environ.get(CACHE_DIR_ENV) or os.path.join(
+        os.getcwd(), ".repro-cache"
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def render(self) -> str:
+        return f"hits={self.hits} misses={self.misses} stores={self.stores}"
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed pickle store rooted at ``directory``."""
+
+    directory: str = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self.directory, "objects", key[:2], f"{key}.pkl")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The payload stored under ``key``, or ``default`` (a miss)."""
+        try:
+            with open(self._object_path(key), "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Missing, truncated, or stale-beyond-unpickling objects all
+            # degrade to a miss; the unit reruns and overwrites.
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return payload
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._object_path(key))
+
+    def put(self, key: str, payload: Any) -> None:
+        """Atomically store ``payload`` under ``key``."""
+        path = self._object_path(key)
+        self._atomic_write(
+            path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self.stats.stores += 1
+
+    # -- recorded unit walls -------------------------------------------------
+
+    @property
+    def _walls_path(self) -> str:
+        return os.path.join(self.directory, "unit_walls.json")
+
+    def load_unit_walls(self) -> Dict[str, float]:
+        """Recorded per-unit wall seconds (empty when none recorded)."""
+        try:
+            with open(self._walls_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        return {
+            str(key): float(value)
+            for key, value in data.items()
+            if isinstance(value, (int, float))
+        }
+
+    def save_unit_walls(self, walls: Dict[str, float]) -> None:
+        """Merge ``walls`` into the recorded set (atomic rewrite)."""
+        merged = self.load_unit_walls()
+        merged.update(
+            {key: round(float(value), 6) for key, value in walls.items()}
+        )
+        self._atomic_write(
+            self._walls_path,
+            json.dumps(merged, indent=0, sort_keys=True).encode("utf-8"),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _atomic_write(path: str, data: bytes) -> None:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise

@@ -6,13 +6,24 @@ Subcommands::
     repro run fig1 [fig2 ...]       # named table/figure reproductions
     repro fleet --nodes 64 --agent overclock --workers 8
     repro reproduce-all [--parallel] [--granularity series|artifact]
-                        [--quick] [--emit-experiments PATH]
-    repro bench [--suite kernel|ml] [--quick] [--output PATH]
+                        [--quick] [--only ARTIFACT ...]
+                        [--no-cache] [--cache-dir PATH]
+                        [--emit-experiments PATH]
+    repro bench [--suite kernel|ml|workloads] [--quick] [--output PATH]
                 [--check-against PATH]
+    repro bench --compare NEW.json BASELINE.json
 
 ``fleet`` prints a fleet-wide report ending in a content digest; runs
 with the same seed agree on the digest regardless of ``--workers``,
 which is how CI smoke-checks the sharding (DESIGN.md §5).
+
+``reproduce-all`` is incremental by default: work units are looked up
+in a content-addressed result cache (``.repro-cache``, or
+``$REPRO_CACHE_DIR`` / ``--cache-dir``) keyed over artifact, series,
+scale, resolved experiment arguments, and a code-version salt, so a
+warm re-run executes zero units and prints bit-identical digests — CI
+smoke-checks exactly that (DESIGN.md §8).  ``--no-cache`` recomputes
+everything.
 """
 
 from __future__ import annotations
@@ -23,6 +34,8 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.cache import ResultCache, default_cache_dir
+from repro.experiments.common import experiment_digest
 from repro.experiments.driver import (
     ARTIFACTS,
     ArtifactRun,
@@ -96,6 +109,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     rall.add_argument("--quick", action="store_true")
     rall.add_argument(
+        "--only", nargs="+", choices=ARTIFACTS, metavar="ARTIFACT",
+        default=None,
+        help="restrict the pass to these artifacts (canonical order kept)",
+    )
+    rall.add_argument(
+        "--cache", dest="cache", action="store_true", default=True,
+        help="reuse cached unit results (the default)",
+    )
+    rall.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="recompute every unit, ignoring the result cache",
+    )
+    rall.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="result cache location (default: $REPRO_CACHE_DIR or "
+             "./.repro-cache)",
+    )
+    rall.add_argument(
         "--emit-experiments", metavar="PATH", default=None,
         help="also write the EXPERIMENTS.md measured-output tables",
     )
@@ -106,9 +137,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "pre-optimization implementations",
     )
     bench.add_argument(
-        "--suite", choices=("kernel", "ml"), default="kernel",
+        "--suite", choices=("kernel", "ml", "workloads"), default="kernel",
         help="kernel: event kernel vs the frozen seed kernel; "
-             "ml: learning-epoch hot path vs the frozen per-class path "
+             "ml: learning-epoch hot path vs the frozen per-class path; "
+             "workloads: workload/substrate per-event loops vs the "
+             "frozen pre-vectorization path "
              "(default: %(default)s)",
     )
     bench.add_argument(
@@ -135,6 +168,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=3,
         help="best-of-N repeats per microbenchmark (default: %(default)s)",
     )
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("NEW", "BASELINE"), default=None,
+        help="compare two existing bench reports instead of running "
+             "anything: print a per-benchmark ratio table and exit "
+             "non-zero past the --max-regression gate",
+    )
     return parser
 
 
@@ -148,6 +187,9 @@ def _cmd_list() -> int:
 
 def _print_run(run: ArtifactRun) -> None:
     print(run.result.render())
+    # The digest line is what the CI cache smoke diffs between a cold
+    # and a warm pass — cached assembly must be bit-identical.
+    print(f"[digest {run.result.name} {experiment_digest(run.result)}]")
     print(f"[{run.wall_seconds:.1f}s wall]\n", flush=True)
 
 
@@ -202,13 +244,18 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
                 f"{directory} is not a directory"
             )
     scale = 0.33 if args.quick else 1.0
+    cache = None
+    if args.cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
     started = time.perf_counter()
     runs = reproduce_all(
         parallel=args.parallel,
         workers=args.workers,
         scale=scale,
+        only=args.only,
         on_result=_print_run,
         granularity=args.granularity,
+        cache=cache,
     )
     wall = time.perf_counter() - started
     mode = (
@@ -216,6 +263,8 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     )
     print(f"[reproduce-all: {len(runs)} artifacts, {mode}, "
           f"{wall:.1f}s wall total]")
+    if cache is not None:
+        print(f"[cache: {cache.stats.render()} dir={cache.directory}]")
     if args.emit_experiments:
         text = render_experiments_markdown(runs, quick=args.quick)
         with open(args.emit_experiments, "w", encoding="utf-8") as handle:
@@ -263,14 +312,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf import (
         build_ml_report,
         build_report,
+        build_workloads_report,
         compare_reports,
+        render_comparison,
         render_report,
         write_report,
     )
 
+    if args.compare is not None:
+        new_path, baseline_path = args.compare
+        with open(new_path, "r", encoding="utf-8") as handle:
+            new = json.load(handle)
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        print(render_comparison(new, baseline, new_path, baseline_path))
+        problems = compare_reports(
+            new, baseline, max_regression=args.max_regression
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"[no regression vs {baseline_path} "
+            f"(gate: {args.max_regression:.0%})]"
+        )
+        return 0
+
     if args.repeats < 1:
         raise SystemExit("repro: error: --repeats must be >= 1")
-    builder = build_ml_report if args.suite == "ml" else build_report
+    builder = {
+        "kernel": build_report,
+        "ml": build_ml_report,
+        "workloads": build_workloads_report,
+    }[args.suite]
     report = builder(quick=args.quick, repeats=args.repeats)
     output = args.output or f"BENCH_{args.suite}.json"
     print(render_report(report))

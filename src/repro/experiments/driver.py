@@ -19,20 +19,36 @@ Two fan-outs live here (DESIGN.md §5):
   deterministic given its arguments alone, so the parallel pass
   reproduces the serial rows exactly; only wall-clock changes.
 
+Incremental reproduction (DESIGN.md §8) builds on the same unit
+purity: with a :class:`~repro.cache.ResultCache`, every unit is looked
+up by content address before being executed, executed payloads are
+stored as they stream back, and figures assemble from cached rows —
+a warm re-run executes zero units and emits bit-identical digests.
+Executed unit walls are recorded (and persisted with the cache) and
+fed back into longest-first dispatch, replacing the simulated-seconds
+estimate for every unit that has been measured before.
+
 Workers are plain processes; each imports :mod:`repro` afresh, so the
 pool works both with an installed package and with the ``src/``-path
 bootstrap (the initializer re-exports this process's ``sys.path``).
+The pool itself is *warm*: one process-wide pool is created on first
+use and reused by every fleet run, ``reproduce_all`` pass, and
+``repro bench`` invocation in the process, so repeated runs stop
+paying pool spawn + re-import per call (:func:`shared_pool`).
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import multiprocessing.pool
 import os
 import sys
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache import ResultCache, unit_key
 from repro.experiments.common import ExperimentResult
 from repro.fleet.aggregate import FleetAggregate, FleetAggregateBuilder
 from repro.fleet.config import FleetConfig
@@ -46,6 +62,8 @@ __all__ = [
     "FleetDriver",
     "artifact_units",
     "reproduce_all",
+    "shared_pool",
+    "shutdown_shared_pool",
 ]
 
 
@@ -61,6 +79,51 @@ def _init_worker(path: List[str]) -> None:
     for entry in reversed(path):
         if entry not in sys.path:
             sys.path.insert(0, entry)
+
+
+# -- warm worker pool --------------------------------------------------------
+
+_shared_pool: Optional[multiprocessing.pool.Pool] = None
+_shared_pool_size = 0
+
+
+def shared_pool(workers: int) -> multiprocessing.pool.Pool:
+    """The process-wide warm worker pool, sized for ``workers``.
+
+    Created on first use and reused by every subsequent fleet run,
+    ``reproduce_all`` pass, and bench invocation in this process — the
+    spawn + re-import cost is paid once, not per call.  A request for
+    more workers than the current pool holds replaces it with a larger
+    one; a request for fewer reuses the existing pool (idle workers are
+    near-free, and shard/unit results never depend on pool size —
+    DESIGN.md §5/§7 — so only wall-clock could differ).
+    """
+    global _shared_pool, _shared_pool_size
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if _shared_pool is not None and _shared_pool_size < workers:
+        shutdown_shared_pool()
+    if _shared_pool is None:
+        _shared_pool = _pool_context().Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        )
+        _shared_pool_size = workers
+    return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    """Terminate the warm pool (no-op when none exists)."""
+    global _shared_pool, _shared_pool_size
+    if _shared_pool is not None:
+        _shared_pool.terminate()
+        _shared_pool.join()
+        _shared_pool = None
+        _shared_pool_size = 0
+
+
+atexit.register(shutdown_shared_pool)
 
 
 def _run_shard(
@@ -124,19 +187,31 @@ class FleetDriver:
         irrelevant — the reduction is order-independent and the builder
         canonicalizes node order), so no per-shard result lists are
         materialized and aggregation overlaps the remaining simulation.
+        A single-chunk work list runs inline: a pool cannot overlap
+        anything when there is only one unit of work to hand out.
+        Multi-chunk runs dispatch onto the process-wide warm pool
+        (:func:`shared_pool`).
         """
         if self.workers == 1:
             return FleetScenario(self.config).run_fleet()
-        context = _pool_context()
-        payloads = [(self.config, chunk) for chunk in self.chunks()]
+        chunks = self.chunks()
         builder = FleetAggregateBuilder()
-        with context.Pool(
-            processes=self.workers,
-            initializer=_init_worker,
-            initargs=(list(sys.path),),
-        ) as pool:
+        if len(chunks) <= 1:
+            for chunk in chunks:
+                builder.add_many(_run_shard((self.config, chunk)))
+            return builder.build()
+        payloads = [(self.config, chunk) for chunk in chunks]
+        pool = shared_pool(self.workers)
+        try:
             for chunk_results in pool.imap_unordered(_run_shard, payloads):
                 builder.add_many(chunk_results)
+        except BaseException:
+            # The warm pool would otherwise keep grinding the queued
+            # shards (and pinning their results) after the caller has
+            # already seen the failure; tear it down — the next run
+            # re-creates it.
+            shutdown_shared_pool()
+            raise
         return builder.build()
 
 
@@ -264,10 +339,86 @@ def artifact_units(name: str, scale: float) -> List[Tuple[str, Optional[str]]]:
 
 def _estimated_unit_cost(name: str, n_units: int, scale: float) -> float:
     """Rough per-unit cost for longest-first dispatch (simulated seconds
-    split across the artifact's units; tables get a nominal epsilon)."""
+    split across the artifact's units; tables get a nominal epsilon).
+    Fallback only: measured walls take priority (:func:`_dispatch_costs`)."""
     _path, kwargs_builder = ARTIFACT_SPECS[name]
     seconds = kwargs_builder(scale).get("seconds", 0)
     return max(float(seconds), 1.0) / max(n_units, 1)
+
+
+# -- incremental reproduction (DESIGN.md §8) ---------------------------------
+
+_CACHE_MISS = object()
+
+#: Measured wall seconds per executed work unit, keyed by
+#: ``"artifact/series@scale"``.  Session-wide; merged with (and
+#: persisted to) the cache's recorded set when a cache is in play.
+_recorded_unit_walls: Dict[str, float] = {}
+
+
+def _wall_key(name: str, series: Optional[str], scale: float) -> str:
+    return f"{name}/{series or ''}@{scale!r}"
+
+
+def _cache_key(name: str, series: Optional[str], scale: float) -> str:
+    _path, kwargs_builder = ARTIFACT_SPECS[name]
+    return unit_key(name, series, scale, kwargs_builder(scale))
+
+
+def _record_wall(
+    name: str, series: Optional[str], scale: float, wall: float
+) -> None:
+    _recorded_unit_walls[_wall_key(name, series, scale)] = wall
+
+
+def _dispatch_costs(
+    payloads: Sequence[Tuple[str, Optional[str], float]],
+    units_by_artifact: Dict[str, List[Tuple[str, Optional[str]]]],
+    scale: float,
+) -> Dict[Tuple[str, Optional[str]], float]:
+    """Per-unit dispatch cost: measured wall where known, calibrated
+    estimate otherwise.
+
+    Measured walls (seconds) and the simulated-seconds heuristic live on
+    different scales, so when both appear in one work list the heuristic
+    is multiplied by the median measured-to-estimated ratio of the units
+    that have both — keeping longest-first meaningful for the not-yet-
+    measured remainder.  Purely cosmetic for results (dispatch order
+    cannot affect a row bit); it only shapes the makespan.
+    """
+    measured: Dict[Tuple[str, Optional[str]], float] = {}
+    estimated: Dict[Tuple[str, Optional[str]], float] = {}
+    ratios: List[float] = []
+    for name, series, _scale in payloads:
+        estimate = _estimated_unit_cost(
+            name, len(units_by_artifact[name]), scale
+        )
+        estimated[(name, series)] = estimate
+        wall = _recorded_unit_walls.get(_wall_key(name, series, scale))
+        if wall is not None:
+            measured[(name, series)] = wall
+            ratios.append(wall / estimate)
+    if not ratios:
+        return estimated
+    ratios.sort()
+    calibration = ratios[len(ratios) // 2]
+    return {
+        unit: measured.get(unit, estimate * calibration)
+        for unit, estimate in estimated.items()
+    }
+
+
+def _load_recorded_walls(cache: Optional[ResultCache]) -> None:
+    if cache is not None:
+        for key, wall in cache.load_unit_walls().items():
+            _recorded_unit_walls.setdefault(key, wall)
+
+
+def _persist_recorded_walls(
+    cache: Optional[ResultCache], executed: Dict[str, float]
+) -> None:
+    if cache is not None and executed:
+        cache.save_unit_walls(executed)
 
 
 def _assemble_artifact(
@@ -291,6 +442,7 @@ def reproduce_all(
     only: Optional[Sequence[str]] = None,
     on_result: Optional[Callable[[ArtifactRun], None]] = None,
     granularity: str = "series",
+    cache: Optional[ResultCache] = None,
 ) -> List[ArtifactRun]:
     """Regenerate every table and figure, serially or sharded.
 
@@ -308,11 +460,16 @@ def reproduce_all(
             twelve artifacts and fig7's nine scenarios no longer
             serialize the tail; ``"artifact"`` keeps the pre-sharding
             one-artifact-per-unit behavior (the bench baseline).
+        cache: consult (and fill) this result cache per work unit —
+            unchanged units load instead of executing, so a warm re-run
+            assembles every figure without running a single simulation,
+            bit-identically (DESIGN.md §8).  ``None`` disables caching.
 
     Returns:
         Runs in canonical (paper) order regardless of completion order.
-        In parallel series mode each run's ``wall_seconds`` is the *sum*
-        of its units' walls (its CPU cost), not its elapsed span.
+        In parallel series mode (and any cached pass) each run's
+        ``wall_seconds`` is the *sum* of its executed units' walls (its
+        CPU cost — near zero on a warm cache), not its elapsed span.
     """
     if granularity not in ("series", "artifact"):
         raise ValueError(f"unknown granularity {granularity!r}")
@@ -320,6 +477,7 @@ def reproduce_all(
     unknown = set(only or ()) - set(ARTIFACTS)
     if unknown:
         raise ValueError(f"unknown artifacts: {sorted(unknown)}")
+    _load_recorded_walls(cache)
     # Series granularity can shard a *single* artifact (fig7 alone is
     # nine units), so the serial fallback keys on the work-unit count,
     # not the artifact count.
@@ -330,16 +488,54 @@ def reproduce_all(
     )
     runs: List[ArtifactRun] = []
     if not parallel or not shardable:
+        executed: Dict[str, float] = {}
         for name in names:
-            runs.append(_run_artifact((name, scale)))
+            if cache is None:
+                runs.append(_run_artifact((name, scale)))
+            else:
+                runs.append(
+                    _run_artifact_cached(name, scale, cache, executed)
+                )
             if on_result is not None:
                 on_result(runs[-1])
+        _persist_recorded_walls(cache, executed)
         return runs
     if granularity == "artifact":
         return _reproduce_artifact_granular(
-            names, workers, scale, on_result
+            names, workers, scale, on_result, cache
         )
-    return _reproduce_series_granular(names, workers, scale, on_result)
+    return _reproduce_series_granular(
+        names, workers, scale, on_result, cache
+    )
+
+
+def _run_artifact_cached(
+    name: str,
+    scale: float,
+    cache: ResultCache,
+    executed: Dict[str, float],
+) -> ArtifactRun:
+    """One artifact through the cache: load hit units, run+store misses."""
+    collected: Dict[Optional[str], Any] = {}
+    wall = 0.0
+    for _name, series in artifact_units(name, scale):
+        key = _cache_key(name, series, scale)
+        payload = cache.get(key, _CACHE_MISS)
+        if payload is _CACHE_MISS:
+            _n, _s, payload, unit_wall = _run_series_unit(
+                (name, series, scale)
+            )
+            cache.put(key, payload)
+            wall += unit_wall
+            _record_wall(name, series, scale, unit_wall)
+            executed[_wall_key(name, series, scale)] = unit_wall
+        collected[series] = payload
+    return _assemble_artifact(name, scale, collected, wall)
+
+
+#: Key namespace marker for whole-artifact payloads cached by the
+#: artifact-granular path (distinct from the series-unit key space).
+_WHOLE_ARTIFACT = "::artifact::"
 
 
 def _reproduce_artifact_granular(
@@ -347,31 +543,53 @@ def _reproduce_artifact_granular(
     workers: Optional[int],
     scale: float,
     on_result: Optional[Callable[[ArtifactRun], None]],
+    cache: Optional[ResultCache] = None,
 ) -> List[ArtifactRun]:
     """One artifact per work unit (the pre-sharding parallel path)."""
-    payloads = [(name, scale) for name in names]
+    pending: List[Tuple[str, float]] = []
+    completed: Dict[str, ArtifactRun] = {}
+    for name in names:
+        if cache is not None:
+            payload = cache.get(
+                _cache_key(name, _WHOLE_ARTIFACT, scale), _CACHE_MISS
+            )
+            if payload is not _CACHE_MISS:
+                completed[name] = ArtifactRun(name, payload, 0.0)
+                continue
+        pending.append((name, scale))
     runs: List[ArtifactRun] = []
-    pool_size = min(workers or os.cpu_count() or 1, len(names))
-    context = _pool_context()
-    with context.Pool(
-        processes=pool_size,
-        initializer=_init_worker,
-        initargs=(list(sys.path),),
-    ) as pool:
+    emit_index = 0
+
+    def emit_ready() -> None:
+        nonlocal emit_index
+        while emit_index < len(names) and names[emit_index] in completed:
+            ready = completed.pop(names[emit_index])
+            emit_index += 1
+            runs.append(ready)
+            if on_result is not None:
+                on_result(ready)
+
+    emit_ready()
+    if pending:
+        pool = shared_pool(
+            min(workers or os.cpu_count() or 1, len(pending))
+        )
         # imap_unordered so a straggler (fig7 dominates the full pass)
         # never idles the pool behind canonical order; completed runs
         # are buffered and re-emitted in canonical order as their turn
         # comes, which keeps the on_result streaming contract.
-        completed: Dict[str, ArtifactRun] = {}
-        emit_index = 0
-        for run in pool.imap_unordered(_run_artifact, payloads):
-            completed[run.name] = run
-            while emit_index < len(names) and names[emit_index] in completed:
-                ready = completed.pop(names[emit_index])
-                emit_index += 1
-                runs.append(ready)
-                if on_result is not None:
-                    on_result(ready)
+        try:
+            for run in pool.imap_unordered(_run_artifact, pending):
+                if cache is not None:
+                    cache.put(
+                        _cache_key(run.name, _WHOLE_ARTIFACT, scale),
+                        run.result,
+                    )
+                completed[run.name] = run
+                emit_ready()
+        except BaseException:
+            shutdown_shared_pool()  # don't leave queued units grinding
+            raise
     return runs
 
 
@@ -380,54 +598,87 @@ def _reproduce_series_granular(
     workers: Optional[int],
     scale: float,
     on_result: Optional[Callable[[ArtifactRun], None]],
+    cache: Optional[ResultCache] = None,
 ) -> List[ArtifactRun]:
     """Sub-artifact sharding: one (artifact, series) scenario per unit."""
     units_by_artifact = {name: artifact_units(name, scale) for name in names}
-    payloads = [
-        (name, series, scale)
-        for name in names
-        for (_name, series) in units_by_artifact[name]
-    ]
-    # Longest-estimated-first dispatch keeps the 1500-sim-second fig7
-    # scenarios from landing last and re-creating the straggler tail the
-    # decomposition exists to remove.  The sort is deterministic (cost,
-    # then original order) and cannot affect results, only wall time.
-    order = {name: i for i, name in enumerate(names)}
-    payloads.sort(
-        key=lambda p: (
-            -_estimated_unit_cost(p[0], len(units_by_artifact[p[0]]), scale),
-            order[p[0]],
-        )
-    )
     collected: Dict[str, Dict[Optional[str], Any]] = {n: {} for n in names}
     walls: Dict[str, float] = {n: 0.0 for n in names}
     remaining: Dict[str, int] = {
         n: len(units_by_artifact[n]) for n in names
     }
+    executed_walls: Dict[str, float] = {}
+    # Cache probe: hit units join their artifact immediately; only the
+    # misses are dispatched.  A fully-warm pass therefore never touches
+    # the pool at all.
+    payloads: List[Tuple[str, Optional[str], float]] = []
+    for name in names:
+        for _name, series in units_by_artifact[name]:
+            payload = (
+                _CACHE_MISS if cache is None
+                else cache.get(_cache_key(name, series, scale), _CACHE_MISS)
+            )
+            if payload is _CACHE_MISS:
+                payloads.append((name, series, scale))
+            else:
+                collected[name][series] = payload
+                remaining[name] -= 1
+    # Longest-first dispatch keeps the 1500-sim-second fig7 scenarios
+    # from landing last and re-creating the straggler tail the
+    # decomposition exists to remove.  Costs are measured unit walls
+    # where available (recorded this session or persisted with the
+    # cache), the calibrated simulated-seconds estimate otherwise.  The
+    # sort is deterministic (cost, then canonical order) and cannot
+    # affect results, only wall time.
+    costs = _dispatch_costs(payloads, units_by_artifact, scale)
+    order = {name: i for i, name in enumerate(names)}
+    payloads.sort(
+        key=lambda p: (-costs[(p[0], p[1])], order[p[0]])
+    )
     assembled: Dict[str, ArtifactRun] = {}
     runs: List[ArtifactRun] = []
     emit_index = 0
-    pool_size = min(workers or os.cpu_count() or 1, len(payloads))
-    context = _pool_context()
-    with context.Pool(
-        processes=pool_size,
-        initializer=_init_worker,
-        initargs=(list(sys.path),),
-    ) as pool:
-        for name, series, payload, wall in pool.imap_unordered(
-            _run_series_unit, payloads
-        ):
-            collected[name][series] = payload
-            walls[name] += wall
-            remaining[name] -= 1
-            if remaining[name] == 0:
-                assembled[name] = _assemble_artifact(
-                    name, scale, collected.pop(name), walls[name]
-                )
-            while emit_index < len(names) and names[emit_index] in assembled:
-                ready = assembled.pop(names[emit_index])
-                emit_index += 1
-                runs.append(ready)
-                if on_result is not None:
-                    on_result(ready)
+
+    def finish_artifact(name: str) -> None:
+        assembled[name] = _assemble_artifact(
+            name, scale, collected.pop(name), walls[name]
+        )
+
+    def emit_ready() -> None:
+        nonlocal emit_index
+        while emit_index < len(names) and names[emit_index] in assembled:
+            ready = assembled.pop(names[emit_index])
+            emit_index += 1
+            runs.append(ready)
+            if on_result is not None:
+                on_result(ready)
+
+    for name in names:  # artifacts fully served from cache
+        if remaining[name] == 0:
+            finish_artifact(name)
+    emit_ready()
+    if payloads:
+        pool = shared_pool(
+            min(workers or os.cpu_count() or 1, len(payloads))
+        )
+        try:
+            for name, series, payload, wall in pool.imap_unordered(
+                _run_series_unit, payloads
+            ):
+                if cache is not None:
+                    cache.put(_cache_key(name, series, scale), payload)
+                _record_wall(name, series, scale, wall)
+                executed_walls[_wall_key(name, series, scale)] = wall
+                collected[name][series] = payload
+                walls[name] += wall
+                remaining[name] -= 1
+                if remaining[name] == 0:
+                    finish_artifact(name)
+                emit_ready()
+        except BaseException:
+            shutdown_shared_pool()  # don't leave queued units grinding
+            # Completed units are already cached; keep their walls too.
+            _persist_recorded_walls(cache, executed_walls)
+            raise
+    _persist_recorded_walls(cache, executed_walls)
     return runs

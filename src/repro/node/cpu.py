@@ -14,6 +14,17 @@ Counters accrue *lazily*: rates only change at discrete instants
 advanced analytically at each change or read.  No periodic simulation
 events are needed, which keeps hundreds of simulated seconds cheap.
 
+Because every accrual rate is piecewise-constant between state changes,
+the rates themselves (cycle/instruction/energy rates, including the
+``ratio ** freq_scaling`` pow and the power-curve polynomial) are
+computed once per state change and reused by every accrual until the
+next change — the seed model re-derived all of them inside ``_accrue``
+on every phase flip, which dominated the 200 ms sampling loops of the
+CPU workloads (DESIGN.md §8).  The cached products use exactly the seed
+expressions in the seed operand order, so every accrued value is
+bit-identical to the seed path (pinned by
+``tests/workloads/test_vectorized_workloads_bit_identity.py``).
+
 Workload model
 --------------
 A workload phase is three numbers:
@@ -31,7 +42,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from repro.node.power import PowerModel
 from repro.sim.kernel import Event, Kernel
@@ -102,11 +113,43 @@ class CpuModel:
         self._energy = 0.0
         self._last_accrue_us = kernel.now
 
-        #: fires (and is replaced) whenever frequency or phase changes;
-        #: :meth:`run_work` races its ETA against this.
-        self.change: Event = kernel.event("cpu.change")
+        # pow caches: ratio ** freq_scaling and the power curve's
+        # freq³ prefix only change with frequency (or the scaling
+        # exponent), not with utilization — the common phase flip.
+        self._pow_ratio = -1.0
+        self._pow_scaling = -1.0
+        self._pow_value = 1.0
+        self._watts_freq = -1.0
+        self._watts_prefix = 0.0
+        # Hoisted power-curve constants: the model is immutable, and
+        # (1 - idle_activity) precomputed gives the same product the
+        # seed's activity expression evaluates per call.
+        self._pm_static = power_model.static_watts
+        self._pm_idle = power_model.idle_activity
+        self._pm_active_span = 1.0 - power_model.idle_activity
+        # accrual rates, recomputed once per state change (see module
+        # docstring); initialized for the idle starting phase.
+        self._recompute_rates()
+
+        # The change event is allocated lazily: only :meth:`run_work` (and
+        # external waiters) ever observe it, and the sampling workloads
+        # flip phases thousands of times per run without anyone waiting —
+        # the seed allocated and fired one Event per flip regardless.
+        self._change: Optional[Event] = None
 
     # -- state inspection ----------------------------------------------------
+
+    @property
+    def change(self) -> Event:
+        """Fires (and is replaced) whenever frequency or phase changes.
+
+        :meth:`run_work` races its ETA against this.  Allocated on first
+        access per state epoch: code that never waits on changes never
+        pays for the event churn.
+        """
+        if self._change is None:
+            self._change = self.kernel.event("cpu.change")
+        return self._change
 
     @property
     def frequency_ghz(self) -> float:
@@ -125,9 +168,7 @@ class CpuModel:
 
     def instantaneous_watts(self) -> float:
         """Current power draw."""
-        return self.power_model.watts(
-            self.n_cores, self._freq_ghz, self._utilization
-        )
+        return self._watts
 
     def ips_rate(self) -> float:
         """Current retirement rate in giga-instructions per second.
@@ -136,15 +177,7 @@ class CpuModel:
         linear in frequency for CPU-bound work (s=1), flat for
         disk-bound work (s=0).
         """
-        ratio = self._freq_ghz / self.nominal_freq_ghz
-        return (
-            self._utilization
-            * self._boundness
-            * self.max_ipc
-            * self.n_cores
-            * self.nominal_freq_ghz
-            * ratio**self._freq_scaling
-        )
+        return self._ips_rate
 
     # -- control -------------------------------------------------------------
 
@@ -157,6 +190,7 @@ class CpuModel:
         clamped = min(self.max_freq_ghz, max(self.min_freq_ghz, freq_ghz))
         self._accrue()
         self._freq_ghz = clamped
+        self._recompute_rates()
         self._notify_change()
         return clamped
 
@@ -167,18 +201,26 @@ class CpuModel:
         freq_scaling: float = 1.0,
     ) -> None:
         """Workload-side phase change (see module docstring for semantics)."""
-        for name, value in (
-            ("utilization", utilization),
-            ("boundness", boundness),
-            ("freq_scaling", freq_scaling),
-        ):
-            if not 0.0 <= value <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        if not 0.0 <= boundness <= 1.0:
+            raise ValueError(f"boundness must be in [0, 1], got {boundness}")
+        if not 0.0 <= freq_scaling <= 1.0:
+            raise ValueError(
+                f"freq_scaling must be in [0, 1], got {freq_scaling}"
+            )
         self._accrue()
         self._utilization = utilization
         self._boundness = boundness
         self._freq_scaling = freq_scaling
-        self._notify_change()
+        self._recompute_rates()
+        # _notify_change, inlined for the per-sample hot path.
+        change = self._change
+        if change is not None:
+            self._change = None
+            change.succeed(None)
 
     def snapshot(self) -> CounterSnapshot:
         """Read the cumulative counters (accrued to the current instant)."""
@@ -232,22 +274,61 @@ class CpuModel:
 
     # -- internals -------------------------------------------------------------
 
+    def _recompute_rates(self) -> None:
+        """Re-derive every accrual rate for the new (freq, phase) state.
+
+        Expressions and operand order are exactly the seed ``_accrue`` /
+        ``ips_rate`` / ``PowerModel.watts`` forms, so the cached values
+        are the bits the seed recomputed per accrual.  The pow is cached
+        separately: utilization flips (the common case — every workload
+        sample) leave ``ratio ** freq_scaling`` untouched.
+        """
+        total_rate = self.n_cores * self._freq_ghz  # giga-cycles per second
+        unhalted_rate = self._utilization * total_rate
+        self._total_rate = total_rate
+        self._unhalted_rate = unhalted_rate
+        self._stalled_rate = unhalted_rate * (1.0 - self._boundness)
+        ratio = self._freq_ghz / self.nominal_freq_ghz
+        if ratio != self._pow_ratio or self._freq_scaling != self._pow_scaling:
+            self._pow_ratio = ratio
+            self._pow_scaling = self._freq_scaling
+            self._pow_value = ratio**self._freq_scaling
+        self._ips_rate = (
+            self._utilization
+            * self._boundness
+            * self.max_ipc
+            * self.n_cores
+            * self.nominal_freq_ghz
+            * self._pow_value
+        )
+        # PowerModel.watts, with its frequency-only prefix
+        # ``dynamic_coeff * n_cores * f³`` cached: left-to-right operand
+        # grouping matches the seed expression, so the product is the
+        # same bits PowerModel.watts returns.
+        if self._freq_ghz != self._watts_freq:
+            self._watts_freq = self._freq_ghz
+            self._watts_prefix = (
+                self.power_model.dynamic_coeff
+                * self.n_cores
+                * self._freq_ghz**3
+            )
+        activity = self._pm_idle + self._pm_active_span * self._utilization
+        self._watts = self._pm_static + self._watts_prefix * activity
+
     def _accrue(self) -> None:
         now = self.kernel.now
         elapsed_s = (now - self._last_accrue_us) / SEC
         if elapsed_s <= 0.0:
             return
-        total_rate = self.n_cores * self._freq_ghz  # giga-cycles per second
-        unhalted_rate = self._utilization * total_rate
-        stalled_rate = unhalted_rate * (1.0 - self._boundness)
-        self._total += total_rate * elapsed_s
-        self._unhalted += unhalted_rate * elapsed_s
-        self._stalled += stalled_rate * elapsed_s
-        self._instructions += self.ips_rate() * elapsed_s
-        self._energy += self.instantaneous_watts() * elapsed_s
+        self._total += self._total_rate * elapsed_s
+        self._unhalted += self._unhalted_rate * elapsed_s
+        self._stalled += self._stalled_rate * elapsed_s
+        self._instructions += self._ips_rate * elapsed_s
+        self._energy += self._watts * elapsed_s
         self._last_accrue_us = now
 
     def _notify_change(self) -> None:
-        old = self.change
-        self.change = self.kernel.event("cpu.change")
-        old.succeed(None)
+        old = self._change
+        if old is not None:
+            self._change = None
+            old.succeed(None)

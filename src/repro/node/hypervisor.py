@@ -72,9 +72,18 @@ class Hypervisor:
             raise ValueError("n_cores must be positive")
         self.kernel = kernel
         self.n_cores = n_cores
+        self._n_cores_f = float(n_cores)
         self._horizon = history_horizon_us
         self._demand = 0.0
         self._allocated = float(n_cores)
+        # Accrual rates, recomputed once per change point: usage/deficit/
+        # elastic are pure functions of (demand, allocated) and therefore
+        # piecewise-constant, but the seed re-derived all three through
+        # property dispatch on every accrual.  Same expressions, same
+        # bits (DESIGN.md §8).
+        self._usage_rate = 0.0
+        self._deficit_rate = 0.0
+        self._elastic_rate = 0.0
         # closed history segments: (start_us, end_us, demand, allocated),
         # oldest first.  A deque so horizon trimming is O(1) per retired
         # segment (the seed's list.pop(0) shifted every retained entry
@@ -130,7 +139,7 @@ class Hypervisor:
         """Workload-side: the primary group now wants ``cores`` cores."""
         if cores < 0:
             raise ValueError("demand must be non-negative")
-        self._change(demand=min(float(cores), float(self.n_cores)))
+        self._change(demand=min(float(cores), self._n_cores_f))
 
     def set_harvested(self, cores: int) -> int:
         """Agent-side: loan ``cores`` cores to the ElasticVM.
@@ -158,6 +167,17 @@ class Hypervisor:
             deficit_cus=self._deficit_cus,
             elastic_cus=self._elastic_cus,
         )
+
+    def demand_deficit_cus(self) -> Tuple[float, float]:
+        """Cumulative ``(demand_cus, deficit_cus)``, accrued to now.
+
+        The exact fields a per-step latency accounting loop needs
+        (:class:`~repro.workloads.tailbench.TailBenchWorkload` reads them
+        every 25 ms step) without building a :class:`HypervisorSnapshot`
+        per step.  Values are the same bits :meth:`snapshot` reports.
+        """
+        self._accrue()
+        return self._demand_cus, self._deficit_cus
 
     def sample_usage(
         self,
@@ -278,6 +298,11 @@ class Hypervisor:
             self._demand = demand
         if allocated is not None:
             self._allocated = allocated
+        # The exact property expressions (usage/deficit/harvested),
+        # evaluated once per change instead of once per accrual.
+        self._usage_rate = min(self._demand, self._allocated)
+        self._deficit_rate = max(0.0, self._demand - self._allocated)
+        self._elastic_rate = self.n_cores - self._allocated
         self._segment_start = now
 
     def _accrue(self) -> None:
@@ -286,7 +311,7 @@ class Hypervisor:
         if elapsed <= 0:
             return
         self._demand_cus += self._demand * elapsed
-        self._usage_cus += self.usage * elapsed
-        self._deficit_cus += self.deficit * elapsed
-        self._elastic_cus += self.harvested * elapsed
+        self._usage_cus += self._usage_rate * elapsed
+        self._deficit_cus += self._deficit_rate * elapsed
+        self._elastic_cus += self._elastic_rate * elapsed
         self._last_accrue_us = now

@@ -24,6 +24,15 @@ What the substrate models:
 * **Tier accounting** — accesses to second-tier regions are *remote*;
   the fraction of remote accesses over a window is the SLO the actuator
   safeguard enforces (≤ 20% remote).
+
+Accrual is the per-event hot loop here: every scan, migration, and rate
+push accrues first, and the seed rebuilt a fresh ``rates * elapsed``
+array plus *two* boolean tier masks (one of them a ``~mask`` allocation)
+per accrual.  The live path reuses one delta buffer and caches the
+local/remote index vectors, invalidated only on migration — the sums run
+over the same elements in the same ascending-index order, so every
+accumulated value is bit-identical to the seed path (DESIGN.md §8,
+pinned by ``tests/workloads/test_vectorized_workloads_bit_identity.py``).
 """
 
 from __future__ import annotations
@@ -119,13 +128,30 @@ class TieredMemory:
         self.n_regions = n_regions
         self.pages_per_region = pages_per_region
         self.rng = rng
-        self.saturation_fraction = saturation_fraction
+        self._saturation_fraction = saturation_fraction
 
         self._rates = np.zeros(n_regions)  # accesses per second
         self._local = np.ones(n_regions, dtype=bool)  # all start in tier 1
+        # accrual scratch + tier caches (module docstring): the delta
+        # buffer is reused across accruals; the ascending index vectors
+        # and the per-tier extracted rate vectors stand in for the
+        # seed's per-accrual boolean masks and fancy extractions, and go
+        # stale only when rates or tiers actually change.
+        self._delta = np.empty(n_regions)
+        self._local_idx = np.arange(n_regions)
+        self._remote_idx = np.empty(0, dtype=np.intp)
+        # Capacity buffers for the per-tier delta extraction scratch;
+        # the active extraction targets are length-k slices.
+        self._local_scratch_buf = np.empty(n_regions)
+        self._remote_scratch_buf = np.empty(n_regions)
+        self._n_local = n_regions
+        self._idx_stale = False
         self._true_accesses = np.zeros(n_regions)  # cumulative per region
-        self._accesses_at_last_scan = np.zeros(n_regions)
-        self._last_scan_us = np.zeros(n_regions, dtype=np.int64)
+        # Scanned-state bookkeeping is strictly per-region scalar reads
+        # and writes, so plain Python lists beat numpy scalar indexing.
+        self._accesses_at_last_scan = [0.0] * n_regions
+        self._last_scan_us = [0] * n_regions
+        self._saturation_threshold = saturation_fraction * pages_per_region
         self._local_accesses = 0.0
         self._remote_accesses = 0.0
         self._bit_resets = 0
@@ -133,6 +159,20 @@ class TieredMemory:
         self._migrations = 0
         self._last_accrue_us = kernel.now
         self._scan_fault_probability = 0.0
+
+    @property
+    def saturation_fraction(self) -> float:
+        """Set-bit fraction above which a scan reports saturation.
+
+        Assignable; the precomputed scan threshold tracks it so
+        :meth:`scan` and external readers can never disagree.
+        """
+        return self._saturation_fraction
+
+    @saturation_fraction.setter
+    def saturation_fraction(self, value: float) -> None:
+        self._saturation_fraction = value
+        self._saturation_threshold = value * self.pages_per_region
 
     # -- workload side ----------------------------------------------------------
 
@@ -146,7 +186,7 @@ class TieredMemory:
         if np.any(rates < 0):
             raise ValueError("rates must be non-negative")
         self._accrue()
-        self._rates = rates.copy()
+        np.copyto(self._rates, rates)
 
     @property
     def rates(self) -> np.ndarray:
@@ -160,7 +200,7 @@ class TieredMemory:
         self._check_region(region)
         self._accrue()
         now = self.kernel.now
-        elapsed_us = int(now - self._last_scan_us[region])
+        elapsed_us = now - self._last_scan_us[region]
         if (
             self._scan_fault_probability > 0.0
             and self.rng is not None
@@ -175,21 +215,19 @@ class TieredMemory:
                 saturated=False,
                 error=True,
             )
-        accesses = (
-            self._true_accesses[region] - self._accesses_at_last_scan[region]
-        )
+        true_accesses = float(self._true_accesses[region])
+        accesses = true_accesses - self._accesses_at_last_scan[region]
         set_bits = self._occupancy(accesses)
-        self._accesses_at_last_scan[region] = self._true_accesses[region]
+        self._accesses_at_last_scan[region] = true_accesses
         self._last_scan_us[region] = now
         self._bit_resets += set_bits
         self._pages_scanned += self.pages_per_region
-        saturated = set_bits >= self.saturation_fraction * self.pages_per_region
         return ScanResult(
             region=region,
             set_bits=set_bits,
             pages=self.pages_per_region,
             elapsed_us=elapsed_us,
-            saturated=saturated,
+            saturated=set_bits >= self._saturation_threshold,
         )
 
     def migrate(self, region: int, tier: Tier) -> bool:
@@ -200,6 +238,8 @@ class TieredMemory:
             return False
         self._accrue()
         self._local[region] = target_local
+        self._n_local += 1 if target_local else -1
+        self._idx_stale = True
         self._migrations += 1
         return True
 
@@ -215,17 +255,19 @@ class TieredMemory:
     @property
     def n_local(self) -> int:
         """Number of regions currently in first-tier DRAM."""
-        return int(self._local.sum())
+        return self._n_local
 
     @property
     def local_regions(self) -> np.ndarray:
-        """Indices of first-tier regions."""
-        return np.flatnonzero(self._local)
+        """Indices of first-tier regions (fresh array; callers may mutate)."""
+        self._refresh_idx()
+        return self._local_idx.copy()
 
     @property
     def remote_regions(self) -> np.ndarray:
-        """Indices of second-tier regions."""
-        return np.flatnonzero(~self._local)
+        """Indices of second-tier regions (fresh array; callers may mutate)."""
+        self._refresh_idx()
+        return self._remote_idx.copy()
 
     def snapshot(self) -> MemorySnapshot:
         """Read cumulative accounting (accrued to now)."""
@@ -266,15 +308,46 @@ class TieredMemory:
             return int(round(pages * expected_fraction))
         return int(self.rng.binomial(pages, expected_fraction))
 
+    def _refresh_idx(self) -> None:
+        if self._idx_stale:
+            self._local_idx = np.flatnonzero(self._local)
+            self._remote_idx = np.flatnonzero(~self._local)
+            self._idx_stale = False
+
     def _accrue(self) -> None:
         now = self.kernel.now
         elapsed_s = (now - self._last_accrue_us) / SEC
         if elapsed_s <= 0:
             return
-        delta = self._rates * elapsed_s
+        # delta.take(idx) visits the same elements in the same ascending
+        # order as the seed's delta[mask], and np.add.reduce is the
+        # primitive inside ndarray.sum — so both tier sums see the same
+        # pairwise reduction and every accumulated bit is unchanged,
+        # while the per-accrual mask build (including the ~mask
+        # allocation), the fancy-extraction allocations, and the delta
+        # allocation are gone.  mode='clip' only skips the bounds check
+        # (the cached indices are in range by construction) and selects
+        # numpy's unbuffered take path.
+        delta = self._delta
+        np.multiply(self._rates, elapsed_s, out=delta)
         self._true_accesses += delta
-        self._local_accesses += float(delta[self._local].sum())
-        self._remote_accesses += float(delta[~self._local].sum())
+        n_local = self._n_local
+        if n_local == self.n_regions:
+            # All-local (the starting state): the extraction would be
+            # the whole delta vector, so sum it directly.
+            self._local_accesses += float(np.add.reduce(delta))
+        elif n_local == 0:
+            self._remote_accesses += float(np.add.reduce(delta))
+        else:
+            self._refresh_idx()
+            local_idx = self._local_idx
+            scratch = self._local_scratch_buf[:local_idx.size]
+            delta.take(local_idx, out=scratch, mode="clip")
+            self._local_accesses += float(np.add.reduce(scratch))
+            remote_idx = self._remote_idx
+            scratch = self._remote_scratch_buf[:remote_idx.size]
+            delta.take(remote_idx, out=scratch, mode="clip")
+            self._remote_accesses += float(np.add.reduce(scratch))
         self._last_accrue_us = now
 
     def _check_region(self, region: int) -> None:

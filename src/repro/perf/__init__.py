@@ -3,19 +3,24 @@
 Public surface::
 
     from repro.perf import build_report, build_ml_report, compare_reports
+    from repro.perf import build_workloads_report, render_comparison
     from repro.perf.microbench import MICROBENCHMARKS, run_microbench
     from repro.perf.microbench_ml import ML_MICROBENCHMARKS, run_ml_microbench
+    from repro.perf.microbench_workloads import WORKLOADS_MICROBENCHMARKS
 
-``repro.perf.legacy`` (seed kernel) and ``repro.perf.legacy_ml``
-(pre-vectorization ML epoch path) hold frozen copies used as the
-measurement baselines; never import them from production code.
+``repro.perf.legacy`` (seed kernel), ``repro.perf.legacy_ml``
+(pre-vectorization ML epoch path), and ``repro.perf.legacy_workloads``
+(pre-vectorization workload/substrate loops) hold frozen copies used as
+the measurement baselines; never import them from production code.
 """
 
 from repro.perf.harness import (
     SEED_BASELINES,
     build_ml_report,
     build_report,
+    build_workloads_report,
     compare_reports,
+    render_comparison,
     render_report,
     write_report,
 )
@@ -24,7 +29,9 @@ __all__ = [
     "SEED_BASELINES",
     "build_ml_report",
     "build_report",
+    "build_workloads_report",
     "compare_reports",
+    "render_comparison",
     "render_report",
     "write_report",
 ]

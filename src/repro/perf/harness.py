@@ -51,12 +51,19 @@ from repro.perf.microbench_ml import (
     ML_MICROBENCHMARKS,
     run_ml_microbench,
 )
+from repro.perf.microbench_workloads import (
+    LIVE_WORKLOADS,
+    WORKLOADS_MICROBENCHMARKS,
+    run_workloads_microbench,
+)
 
 __all__ = [
     "SEED_BASELINES",
     "build_ml_report",
     "build_report",
+    "build_workloads_report",
     "compare_reports",
+    "render_comparison",
     "render_report",
     "write_report",
 ]
@@ -95,12 +102,24 @@ def _run_suite(
     scale: float,
     repeats: int,
 ) -> Dict[str, Any]:
-    """All scenarios, optimized vs legacy, interleaved for fairness."""
+    """All scenarios, optimized vs legacy, interleaved for fairness.
+
+    Repeats alternate optimized/legacy (best-of-N each) so slow drift in
+    the host's effective clock rate — the dominant noise source on
+    shared runners — lands on both sides of every ratio instead of
+    biasing whichever implementation ran last.
+    """
     section: Dict[str, Any] = {}
     speedups: List[float] = []
     for name in benchmarks:
-        optimized = runner(name, live, scale, repeats)
-        frozen = runner(name, legacy, scale, repeats)
+        optimized = frozen = None
+        for _ in range(repeats):
+            candidate_opt = runner(name, live, scale, 1)
+            candidate_leg = runner(name, legacy, scale, 1)
+            if optimized is None or candidate_opt.wall_s < optimized.wall_s:
+                optimized = candidate_opt
+            if frozen is None or candidate_leg.wall_s < frozen.wall_s:
+                frozen = candidate_leg
         speedup = frozen.wall_s / optimized.wall_s
         speedups.append(speedup)
         section[name] = {
@@ -133,6 +152,18 @@ def run_ml_microbenchmarks(
     return _run_suite(
         ML_MICROBENCHMARKS, run_ml_microbench, LIVE_ML, legacy_ml_impl,
         scale, repeats,
+    )
+
+
+def run_workloads_microbenchmarks(
+    scale: float = 1.0, repeats: int = 3
+) -> Dict[str, Any]:
+    """Workload/substrate loops, vectorized vs the frozen seed path."""
+    import repro.perf.legacy_workloads as legacy_workloads_impl
+
+    return _run_suite(
+        WORKLOADS_MICROBENCHMARKS, run_workloads_microbench,
+        LIVE_WORKLOADS, legacy_workloads_impl, scale, repeats,
     )
 
 
@@ -279,6 +310,54 @@ def run_ml_end_to_end(workers: int = 8) -> Dict[str, Any]:
     }
 
 
+def run_workloads_end_to_end() -> Dict[str, Any]:
+    """Incremental reproduction: cold-vs-warm cached pass + digest check.
+
+    Runs the golden ``fig6-left`` artifact twice through a fresh result
+    cache in a temporary directory: the cold pass executes and stores
+    every unit, the warm pass must execute *zero* units (all-hit) and
+    assemble the same rows — verified against the pinned golden digest,
+    not just self-consistency.
+    """
+    import tempfile
+
+    from repro.cache import ResultCache
+    from repro.experiments.common import experiment_digest
+    from repro.experiments.driver import reproduce_all
+
+    artifact = "fig6-left"
+    golden = GOLDEN_EXPERIMENT_DIGESTS[artifact]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold_cache = ResultCache(tmp)
+        started = time.perf_counter()
+        cold_runs = reproduce_all(
+            only=[artifact], scale=GOLDEN_EXPERIMENT_SCALE, cache=cold_cache
+        )
+        cold_wall = time.perf_counter() - started
+        warm_cache = ResultCache(tmp)
+        started = time.perf_counter()
+        warm_runs = reproduce_all(
+            only=[artifact], scale=GOLDEN_EXPERIMENT_SCALE, cache=warm_cache
+        )
+        warm_wall = time.perf_counter() - started
+    cold_digest = experiment_digest(cold_runs[0].result)
+    warm_digest = experiment_digest(warm_runs[0].result)
+    return {
+        "cache_warm_reproduce": {
+            "artifact": artifact,
+            "scale": GOLDEN_EXPERIMENT_SCALE,
+            "wall_s": round(cold_wall, 3),
+            "warm_wall_s": round(warm_wall, 3),
+            "warm_speedup": round(cold_wall / warm_wall, 1),
+            "cold_stats": cold_cache.stats.render(),
+            "warm_stats": warm_cache.stats.render(),
+            "all_hit": warm_cache.stats.misses == 0
+            and warm_cache.stats.hits > 0,
+            "digest_ok": cold_digest == warm_digest == golden,
+        }
+    }
+
+
 def build_report(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
     """The full ``repro bench`` kernel-suite report.
 
@@ -311,6 +390,23 @@ def build_ml_report(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
     }
     if not quick:
         report["end_to_end"] = run_ml_end_to_end()
+    return report
+
+
+def build_workloads_report(
+    quick: bool = False, repeats: int = 3
+) -> Dict[str, Any]:
+    """The ``repro bench --suite workloads`` report (same semantics)."""
+    report: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "suite": "workloads",
+        "quick": quick,
+        "microbench": run_workloads_microbenchmarks(
+            scale=0.25 if quick else 1.0, repeats=repeats
+        ),
+    }
+    if not quick:
+        report["end_to_end"] = run_workloads_end_to_end()
     return report
 
 
@@ -350,12 +446,76 @@ def compare_reports(
                 f"(baseline {entry['speedup']:.2f}x)"
             )
     for name, entry in new.get("end_to_end", {}).items():
-        if isinstance(entry, dict) and entry.get("digest_ok") is False:
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("digest_ok") is False:
             problems.append(
                 f"end-to-end {name!r} digest mismatch: "
                 "optimization changed results"
             )
+        if entry.get("all_hit") is False:
+            problems.append(
+                f"end-to-end {name!r}: warm cached pass re-executed units "
+                "(not all-hit)"
+            )
     return problems
+
+
+def render_comparison(
+    new: Dict[str, Any],
+    baseline: Dict[str, Any],
+    new_label: str = "new",
+    baseline_label: str = "baseline",
+) -> str:
+    """Per-benchmark speedup-ratio table between two bench reports.
+
+    The ``ratio`` column is ``new speedup / baseline speedup`` — the
+    machine-independent quantity the CI gate consumes; < 1.0 means the
+    optimized-vs-legacy advantage shrank relative to the baseline
+    report.
+    """
+    lines = [f"== bench compare: {new_label} vs {baseline_label} =="]
+    new_suite = new.get("suite", "?")
+    baseline_suite = baseline.get("suite", "?")
+    if new_suite != baseline_suite:
+        lines.append(
+            f"  WARNING: comparing different suites "
+            f"({new_suite!r} vs {baseline_suite!r})"
+        )
+    new_micro = new.get("microbench", {})
+    baseline_micro = baseline.get("microbench", {})
+    names = [
+        name for name, entry in baseline_micro.items()
+        if isinstance(entry, dict) and "speedup" in entry
+    ]
+    width = max((len(name) for name in names), default=8)
+    lines.append(
+        f"  {'benchmark':{width}s}  {new_label[:12]:>12s}  "
+        f"{baseline_label[:12]:>12s}  {'ratio':>6s}"
+    )
+    ratios: List[float] = []
+    for name in names:
+        baseline_speedup = baseline_micro[name]["speedup"]
+        entry = new_micro.get(name)
+        if not isinstance(entry, dict) or "speedup" not in entry:
+            lines.append(f"  {name:{width}s}  {'missing':>12s}")
+            continue
+        ratio = entry["speedup"] / baseline_speedup
+        ratios.append(ratio)
+        lines.append(
+            f"  {name:{width}s}  {entry['speedup']:>11.2f}x  "
+            f"{baseline_speedup:>11.2f}x  {ratio:>6.2f}"
+        )
+    if ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        lines.append(f"  {'geomean ratio':{width}s}  {geomean:>34.2f}")
+    for key in ("geomean_speedup",):
+        if key in new_micro and key in baseline_micro:
+            lines.append(
+                f"  suite geomean speedup: {new_micro[key]:.2f}x "
+                f"(baseline {baseline_micro[key]:.2f}x)"
+            )
+    return "\n".join(lines)
 
 
 def render_report(report: Dict[str, Any]) -> str:
@@ -387,6 +547,14 @@ def render_report(report: Dict[str, Any]) -> str:
         if "digest_ok" in entry:
             extra += "  digest OK" if entry["digest_ok"] else "  DIGEST MISMATCH"
         lines.append(f"  e2e {name:18s} {wall:7.2f} s wall{extra}")
+        if "warm_wall_s" in entry:
+            lines.append(
+                f"      warm re-run {entry['warm_wall_s']:.3f} s "
+                f"({entry['warm_speedup']:.0f}x; warm pass "
+                f"{entry['warm_stats']}"
+                + (", all-hit" if entry.get("all_hit") else ", NOT all-hit")
+                + ")"
+            )
         if "modeled_makespan_subartifact_s" in entry:
             lines.append(
                 f"      {entry['modeled_workers']}-worker makespan model: "

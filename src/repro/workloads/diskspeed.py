@@ -60,23 +60,51 @@ class DiskSpeedWorkload(Workload):
         self.freq_scaling = freq_scaling
         self.sample_interval_us = sample_interval_us
         self.throughput_samples: List[float] = []
+        # pow cache: ratio ** freq_scaling only moves with the (rare)
+        # agent frequency change, not with the 200 ms sampling cadence.
+        self._pow_freq = None
+        self._pow_value = 1.0
 
     def _run(self):
+        # Request-accounting hot loop; see ObjectStoreWorkload._run —
+        # the two per-step normal draws are batched off the same bit
+        # stream (``normal(l, s)`` == ``l + s·z`` elementwise; pinned by
+        # tests/workloads/test_rng_batching_identities.py and the
+        # lockstep tests, DESIGN.md §8).
+        standard_normal = self.rng.standard_normal
+        set_phase = self.cpu.set_phase
+        append = self.throughput_samples.append
+        cpu = self.cpu
+        base_rps = self.base_throughput_rps
+        mean_utilization = self.utilization
+        boundness = self.boundness
+        freq_scaling = self.freq_scaling
+        interval_us = self.sample_interval_us
+        nominal_freq = cpu.nominal_freq_ghz
+        z = np.empty(512)
+        u_vals = np.empty(256)
+        jitter_vals = np.empty(256)
+        i = 256
         while True:
-            utilization = min(
-                max(float(self.rng.normal(self.utilization, 0.03)), 0.3), 0.9
-            )
-            self.cpu.set_phase(
-                utilization=utilization,
-                boundness=self.boundness,
-                freq_scaling=self.freq_scaling,
-            )
-            ratio = self.cpu.frequency_ghz / self.cpu.nominal_freq_ghz
-            jitter = float(self.rng.normal(1.0, 0.02))
-            self.throughput_samples.append(
-                self.base_throughput_rps * ratio**self.freq_scaling * jitter
-            )
-            yield self.sample_interval_us
+            if i == 256:
+                standard_normal(out=z)
+                # step k draws z[2k] (utilization) then z[2k+1] (jitter)
+                np.multiply(z[0::2], 0.03, out=u_vals)
+                u_vals += mean_utilization
+                np.multiply(z[1::2], 0.02, out=jitter_vals)
+                jitter_vals += 1.0
+                i = 0
+            utilization = min(max(float(u_vals[i]), 0.3), 0.9)
+            set_phase(utilization, boundness, freq_scaling)
+            freq = cpu.frequency_ghz
+            if freq != self._pow_freq:
+                self._pow_freq = freq
+                ratio = freq / nominal_freq
+                self._pow_value = ratio**freq_scaling
+            jitter = float(jitter_vals[i])
+            i += 1
+            append(base_rps * self._pow_value * jitter)
+            yield interval_us
 
     def performance(self) -> PerformanceReport:
         """Mean throughput in requests/second (higher is better)."""

@@ -12,6 +12,7 @@ jitter, and the reported metric is the P99 over the run.
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 import numpy as np
@@ -64,11 +65,21 @@ class ObjectStoreWorkload(Workload):
         self._speedup_ewma = None
         self.speedup_smoothing = speedup_smoothing
         self.latency_samples_ms: List[float] = []
+        # pow cache for the speedup: the agent changes frequency once per
+        # epoch at most, but this workload samples every 200 ms — so
+        # ``ratio ** freq_scaling`` is recomputed only when the frequency
+        # it depends on actually moved (same bits either way).
+        self._pow_freq = None
+        self._pow_value = 1.0
 
     def _speedup(self) -> float:
         """Smoothed service speedup relative to the nominal frequency."""
-        ratio = self.cpu.frequency_ghz / self.cpu.nominal_freq_ghz
-        instantaneous = ratio**self.freq_scaling
+        freq = self.cpu.frequency_ghz
+        if freq != self._pow_freq:
+            self._pow_freq = freq
+            ratio = freq / self.cpu.nominal_freq_ghz
+            self._pow_value = ratio**self.freq_scaling
+        instantaneous = self._pow_value
         if self._speedup_ewma is None:
             self._speedup_ewma = instantaneous
         else:
@@ -78,20 +89,44 @@ class ObjectStoreWorkload(Workload):
         return self._speedup_ewma
 
     def _run(self):
+        # Request-accounting hot loop: one iteration per 200 ms sample
+        # for the whole run.  The two per-step draws are batched: each
+        # refill pulls 512 standard normals — the exact bit stream the
+        # seed's interleaved scalar ``normal``/``lognormal`` calls
+        # consume, since both are one ziggurat draw each — and the
+        # affine transforms are applied elementwise (``normal(l, s)`` ==
+        # ``l + s·z`` and ``lognormal(0, s)`` == ``exp(s·z)`` with
+        # libm's exp == ``math.exp``; pinned by
+        # tests/workloads/test_rng_batching_identities.py and the
+        # lockstep tests, DESIGN.md §8).
+        standard_normal = self.rng.standard_normal
+        exp = math.exp
+        set_phase = self.cpu.set_phase
+        append = self.latency_samples_ms.append
+        speedup = self._speedup
+        base_latency_ms = self.base_latency_ms
+        boundness = self.boundness
+        freq_scaling = self.freq_scaling
+        interval_us = self.sample_interval_us
+        z = np.empty(512)
+        u_vals = np.empty(256)
+        jitter_args = np.empty(256)
+        i = 256
         while True:
+            if i == 256:
+                standard_normal(out=z)
+                # step k draws z[2k] (utilization) then z[2k+1] (jitter)
+                np.multiply(z[0::2], 0.02, out=u_vals)
+                u_vals += 0.95
+                np.multiply(z[1::2], 0.08, out=jitter_args)
+                i = 0
             # High load with a small wiggle; always worth overclocking.
-            utilization = min(max(float(self.rng.normal(0.95, 0.02)), 0.85),
-                              1.0)
-            self.cpu.set_phase(
-                utilization=utilization,
-                boundness=self.boundness,
-                freq_scaling=self.freq_scaling,
-            )
-            jitter = float(self.rng.lognormal(mean=0.0, sigma=0.08))
-            self.latency_samples_ms.append(
-                self.base_latency_ms * jitter / self._speedup()
-            )
-            yield self.sample_interval_us
+            utilization = min(max(float(u_vals[i]), 0.85), 1.0)
+            set_phase(utilization, boundness, freq_scaling)
+            jitter = exp(jitter_args[i])
+            i += 1
+            append(base_latency_ms * jitter / speedup())
+            yield interval_us
 
     def performance(self) -> PerformanceReport:
         """P99 request latency in milliseconds (lower is better)."""

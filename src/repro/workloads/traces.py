@@ -13,6 +13,7 @@ resulting in frequent and rapid shifts in memory access patterns."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -86,6 +87,29 @@ SPECJBB_MEM = TraceProfile(
 )
 
 
+#: Scaled Zipf weight vectors, memoized per (profile, n_regions).  The
+#: weights depend only on those two inputs, yet the seed rebuilt and
+#: renormalized them on *every* rate push — the dominant cost of a trace
+#: shift (DESIGN.md §8).  Cached arrays are write-protected; consumers
+#: only ever scatter them into fresh/reused rate vectors.
+_SCALED_WEIGHTS: Dict[Tuple[TraceProfile, int], np.ndarray] = {}
+
+
+def _scaled_zipf_weights(
+    n_regions: int, profile: TraceProfile
+) -> np.ndarray:
+    key = (profile, n_regions)
+    scaled = _SCALED_WEIGHTS.get(key)
+    if scaled is None:
+        n_active = max(1, int(round(profile.active_fraction * n_regions)))
+        weights = 1.0 / np.arange(1, n_active + 1) ** profile.zipf_s
+        weights /= weights.sum()
+        scaled = profile.total_rate * weights
+        scaled.setflags(write=False)
+        _SCALED_WEIGHTS[key] = scaled
+    return scaled
+
+
 def zipf_rates(
     n_regions: int,
     profile: TraceProfile,
@@ -96,11 +120,9 @@ def zipf_rates(
     ``permutation[rank]`` is the region index holding that rank; ranks
     beyond the active fraction get rate zero (cold regions).
     """
-    n_active = max(1, int(round(profile.active_fraction * n_regions)))
-    weights = 1.0 / np.arange(1, n_active + 1) ** profile.zipf_s
-    weights /= weights.sum()
+    scaled = _scaled_zipf_weights(n_regions, profile)
     rates = np.zeros(n_regions)
-    rates[permutation[:n_active]] = profile.total_rate * weights
+    rates[permutation[:len(scaled)]] = scaled
     return rates
 
 
@@ -128,12 +150,18 @@ class ZipfMemoryTrace(Workload):
         self.profile = profile
         self.permutation = rng.permutation(memory.n_regions)
         self.shifts = 0
+        # Reused scatter target for rate pushes: set_rates copies the
+        # values out, so handing it the same buffer every shift is safe
+        # and saves an allocation per push.
+        self._rates_buf = np.zeros(memory.n_regions)
 
     def apply_rates(self) -> None:
         """Push the current popularity ranking into the substrate."""
-        self.memory.set_rates(
-            zipf_rates(self.memory.n_regions, self.profile, self.permutation)
-        )
+        scaled = _scaled_zipf_weights(self.memory.n_regions, self.profile)
+        rates = self._rates_buf
+        rates.fill(0.0)
+        rates[self.permutation[:len(scaled)]] = scaled
+        self.memory.set_rates(rates)
 
     def shift_popularity(self) -> None:
         """Rotate part of the ranking: some hot regions cool, others heat."""
@@ -143,7 +171,14 @@ class ZipfMemoryTrace(Workload):
         )
         n_shift = max(1, int(round(self.profile.shift_fraction * n_active)))
         chosen = self.rng.choice(n_active, size=n_shift, replace=False)
-        self.permutation[chosen] = self.permutation[np.roll(chosen, 1)]
+        # rolled == np.roll(chosen, 1): two slice copies instead of
+        # np.roll's axis normalization machinery (~10x cheaper for the
+        # O(20)-element shift vectors; integer-exact, so the resulting
+        # permutation is identical).
+        rolled = np.empty_like(chosen)
+        rolled[0] = chosen[-1]
+        rolled[1:] = chosen[:-1]
+        self.permutation[chosen] = self.permutation[rolled]
         self.shifts += 1
 
     def _run(self):

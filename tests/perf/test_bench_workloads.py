@@ -1,0 +1,131 @@
+"""The workloads bench suite and the report-comparison tooling."""
+
+import json
+
+import pytest
+
+import repro.perf.legacy_workloads as legacy
+from repro.cli import main
+from repro.perf import compare_reports, render_comparison
+from repro.perf.harness import run_workloads_microbenchmarks
+from repro.perf.microbench_workloads import (
+    LIVE_WORKLOADS,
+    WORKLOADS_MICROBENCHMARKS,
+    run_workloads_microbench,
+)
+
+TINY = 0.02  # enough events to exercise every path, small enough for CI
+
+
+def test_every_scenario_runs_against_both_implementations():
+    for name in WORKLOADS_MICROBENCHMARKS:
+        for impl in (LIVE_WORKLOADS, legacy):
+            result = run_workloads_microbench(name, impl, TINY, repeats=1)
+            assert result.events > 0
+            assert result.wall_s > 0.0
+            assert result.name == name
+
+
+def test_suite_report_structure():
+    section = run_workloads_microbenchmarks(scale=TINY, repeats=1)
+    assert set(WORKLOADS_MICROBENCHMARKS) <= set(section)
+    assert "geomean_speedup" in section
+    for name in WORKLOADS_MICROBENCHMARKS:
+        entry = section[name]
+        assert entry["optimized"]["events"] == entry["legacy"]["events"]
+        assert entry["speedup"] > 0
+
+
+def _fake_report(speedups, suite="workloads"):
+    return {
+        "schema": 2,
+        "suite": suite,
+        "microbench": {
+            name: {
+                "optimized": {"events": 1, "wall_s": 1.0,
+                              "ns_per_event": 1.0, "events_per_sec": 1.0},
+                "legacy": {"events": 1, "wall_s": speedup,
+                           "ns_per_event": speedup,
+                           "events_per_sec": 1.0 / speedup},
+                "speedup": speedup,
+            }
+            for name, speedup in speedups.items()
+        },
+    }
+
+
+def test_compare_reports_flags_ratio_regression():
+    baseline = _fake_report({"a": 2.0, "b": 3.0})
+    fine = _fake_report({"a": 1.9, "b": 2.6})
+    assert compare_reports(fine, baseline, max_regression=0.25) == []
+    regressed = _fake_report({"a": 1.0, "b": 3.0})
+    problems = compare_reports(regressed, baseline, max_regression=0.25)
+    assert len(problems) == 1 and "'a'" in problems[0]
+
+
+def test_compare_reports_flags_not_all_hit():
+    report = _fake_report({"a": 2.0})
+    report["end_to_end"] = {
+        "cache_warm_reproduce": {"digest_ok": True, "all_hit": False}
+    }
+    problems = compare_reports(report, _fake_report({"a": 2.0}))
+    assert any("all-hit" in problem for problem in problems)
+
+
+def test_render_comparison_table_contents():
+    baseline = _fake_report({"alpha": 2.0, "beta": 4.0})
+    new = _fake_report({"alpha": 1.0, "beta": 4.0})
+    text = render_comparison(new, baseline, "new.json", "base.json")
+    assert "alpha" in text and "beta" in text
+    assert "0.50" in text  # alpha's ratio
+    assert "1.00" in text  # beta's ratio
+    assert "geomean ratio" in text
+
+
+def test_render_comparison_warns_on_suite_mismatch():
+    text = render_comparison(
+        _fake_report({"a": 1.0}, suite="kernel"),
+        _fake_report({"a": 1.0}, suite="ml"),
+    )
+    assert "WARNING" in text
+
+
+# -- the bench --compare CLI -------------------------------------------------
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_cli_compare_passes_within_gate(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", _fake_report({"a": 2.0}))
+    new = _write(tmp_path, "new.json", _fake_report({"a": 1.8}))
+    assert main(["bench", "--compare", new, baseline]) == 0
+    out = capsys.readouterr().out
+    assert "bench compare" in out
+    assert "no regression" in out
+
+
+def test_cli_compare_fails_past_gate(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", _fake_report({"a": 2.0}))
+    new = _write(tmp_path, "new.json", _fake_report({"a": 1.0}))
+    assert main(["bench", "--compare", new, baseline]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.err
+
+
+def test_cli_compare_honors_max_regression(tmp_path):
+    baseline = _write(tmp_path, "base.json", _fake_report({"a": 2.0}))
+    new = _write(tmp_path, "new.json", _fake_report({"a": 1.2}))
+    assert main(["bench", "--compare", new, baseline]) == 1
+    assert main([
+        "bench", "--compare", new, baseline, "--max-regression", "0.5"
+    ]) == 0
+
+
+def test_cli_compare_missing_file_raises():
+    with pytest.raises(OSError):
+        main(["bench", "--compare", "/nonexistent/a.json",
+              "/nonexistent/b.json"])

@@ -1,0 +1,51 @@
+"""PerformanceReport.normalized_against: value semantics + error paths."""
+
+import pytest
+
+from repro.workloads.base import PerformanceReport
+
+
+def _report(metric="p99 latency (ms)", value=10.0, higher_is_better=False):
+    return PerformanceReport(
+        metric=metric, value=value, higher_is_better=higher_is_better
+    )
+
+
+def test_lower_is_better_normalization_inverts():
+    fast = _report(value=5.0)
+    slow = _report(value=10.0)
+    assert fast.normalized_against(slow) == 2.0
+    assert slow.normalized_against(fast) == 0.5
+
+
+def test_higher_is_better_normalization_divides():
+    high = _report("throughput (req/s)", 6000.0, True)
+    low = _report("throughput (req/s)", 3000.0, True)
+    assert high.normalized_against(low) == 2.0
+    assert low.normalized_against(high) == 0.5
+
+
+def test_mismatched_metrics_raise_with_both_names():
+    latency = _report()
+    throughput = _report("throughput (req/s)", 5000.0, True)
+    with pytest.raises(ValueError) as excinfo:
+        latency.normalized_against(throughput)
+    assert "p99 latency (ms)" in str(excinfo.value)
+    assert "throughput (req/s)" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("bad_value", [0.0, -1.0])
+def test_nonpositive_baseline_raises(bad_value):
+    with pytest.raises(ValueError, match="positive"):
+        _report().normalized_against(_report(value=bad_value))
+
+
+@pytest.mark.parametrize("bad_value", [0.0, -3.5])
+def test_nonpositive_own_value_raises(bad_value):
+    with pytest.raises(ValueError, match="positive"):
+        _report(value=bad_value).normalized_against(_report())
+
+
+def test_normalizing_against_self_is_unity():
+    report = _report(value=7.25)
+    assert report.normalized_against(report) == 1.0

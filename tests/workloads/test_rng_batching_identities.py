@@ -1,0 +1,72 @@
+"""Pin the RNG identities the batched workload draw paths rely on.
+
+The vectorized CPU workloads pull blocks of ``standard_normal`` draws
+and apply the distribution transforms themselves (DESIGN.md §8).  That
+is only sound because, for numpy's ``Generator``:
+
+* a size-N draw consumes the bit stream exactly like N scalar draws;
+* ``normal(loc, scale)`` is ``loc + scale * standard_normal()`` with
+  plain (unfused) IEEE double arithmetic;
+* ``lognormal(0, sigma)`` is libm's ``exp`` of ``sigma * z`` — the same
+  ``exp`` as ``math.exp`` (NOT ``np.exp``, whose SIMD path differs in
+  the last ulp for a few percent of draws — see DESIGN.md §6).
+
+If any of these ever breaks (numpy build with FMA contraction, a
+different libm), this file fails loudly instead of the golden digests
+drifting silently.
+"""
+
+import math
+
+import numpy as np
+
+
+def test_batched_standard_normal_matches_sequential():
+    batch = np.random.default_rng(7).standard_normal(1000)
+    rng = np.random.default_rng(7)
+    sequential = np.array([rng.standard_normal() for _ in range(1000)])
+    assert np.array_equal(batch, sequential)
+
+
+def test_batched_uniform_and_integers_match_sequential():
+    batch_rng, seq_rng = np.random.default_rng(3), np.random.default_rng(3)
+    assert np.array_equal(
+        batch_rng.random(500),
+        np.array([seq_rng.random() for _ in range(500)]),
+    )
+    batch_rng, seq_rng = np.random.default_rng(4), np.random.default_rng(4)
+    assert np.array_equal(
+        batch_rng.integers(2, 11, size=500),
+        np.array([seq_rng.integers(2, 11) for _ in range(500)]),
+    )
+
+
+def test_normal_is_affine_standard_normal():
+    api, manual = np.random.default_rng(7), np.random.default_rng(7)
+    for _ in range(2000):
+        assert api.normal(0.95, 0.02) == 0.95 + 0.02 * manual.standard_normal()
+
+
+def test_lognormal_is_math_exp_of_scaled_standard_normal():
+    api, manual = np.random.default_rng(9), np.random.default_rng(9)
+    for _ in range(2000):
+        want = api.lognormal(0.0, 0.08)
+        assert want == math.exp(0.08 * manual.standard_normal())
+
+
+def test_standard_normal_out_matches_fresh_allocation():
+    """The refill path uses ``out=``; it must be the same draw sequence."""
+    with_out, fresh = np.random.default_rng(11), np.random.default_rng(11)
+    buffer = np.empty(512)
+    with_out.standard_normal(out=buffer)
+    assert np.array_equal(buffer, fresh.standard_normal(512))
+
+
+def test_strided_affine_transform_matches_scalar_ops():
+    """The even/odd interleave transform is elementwise-exact."""
+    z = np.random.default_rng(13).standard_normal(512)
+    out = np.empty(256)
+    np.multiply(z[0::2], 0.02, out=out)
+    out += 0.95
+    for k in range(256):
+        assert out[k] == 0.95 + 0.02 * z[2 * k]

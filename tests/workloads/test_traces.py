@@ -118,3 +118,50 @@ def test_local_fraction_performance_metric():
     report = trace.performance()
     assert report.value == pytest.approx(1.0)  # everything still local
     assert report.higher_is_better
+
+
+# -- shift_popularity invariants (satellite coverage) ------------------------
+
+
+def test_shift_popularity_preserves_permutation():
+    """However many shifts run, the ranking stays a permutation."""
+    kernel = Kernel()
+    memory, trace = make_trace(kernel, n_regions=96)
+    for _ in range(50):
+        trace.shift_popularity()
+        assert sorted(trace.permutation) == list(range(96))
+
+
+def test_shift_popularity_counts_shifts():
+    kernel = Kernel()
+    _memory, trace = make_trace(kernel)
+    assert trace.shifts == 0
+    for expected in range(1, 8):
+        trace.shift_popularity()
+        assert trace.shifts == expected
+
+
+def test_shift_popularity_deterministic_under_seeded_generator():
+    """Same seed, same shift sequence — permutation histories agree."""
+    histories = []
+    for _ in range(2):
+        kernel = Kernel()
+        _memory, trace = make_trace(kernel, seed=13)
+        history = [trace.permutation.copy()]
+        for _shift in range(20):
+            trace.shift_popularity()
+            history.append(trace.permutation.copy())
+        histories.append(history)
+    for first, second in zip(*histories):
+        assert np.array_equal(first, second)
+
+
+def test_shift_popularity_rotates_only_active_ranks():
+    """Cold ranks (beyond the active fraction) never change hands."""
+    kernel = Kernel()
+    _memory, trace = make_trace(kernel, n_regions=100)
+    n_active = int(round(OBJECTSTORE_MEM.active_fraction * 100))
+    cold_before = trace.permutation[n_active:].copy()
+    for _ in range(25):
+        trace.shift_popularity()
+    assert np.array_equal(trace.permutation[n_active:], cold_before)
