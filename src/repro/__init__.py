@@ -19,6 +19,8 @@ Package map:
   parallel driver (``FleetDriver``, ``reproduce_all``) lives here.
 * :mod:`repro.fleet` — multi-node fleets: heterogeneous simulated
   nodes, each with its own kernel, RNG, workload, and agent.
+* :mod:`repro.sweep` — declarative robustness campaigns: fault grids
+  with a safety scoreboard and per-axis frontier tables.
 * :mod:`repro.cli` — the ``python -m repro`` command line.
 """
 

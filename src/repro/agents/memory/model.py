@@ -111,6 +111,10 @@ class MemoryModel(Model):
         self._zero = np.zeros(n, dtype=int)
         self._epoch_start_us = kernel.now
         self._missed_fraction: Optional[float] = None
+        #: fault injectors applied to every collected scan batch (the
+        #: telemetry-transport boundary, mirroring
+        #: ``CounterReader.add_injector`` / ``HarvestModel.injectors``)
+        self.injectors: List = []
         self._assign_arms()
 
     # -- Model interface ------------------------------------------------------
@@ -126,6 +130,8 @@ class MemoryModel(Model):
             if self._truth_mask[region]:
                 period = self.config.scan_periods_us[0]
             self._next_due[region] = now + period
+        for injector in self.injectors:
+            results = injector(results)
         return results
 
     def validate_data(self, batch: List[ScanResult]) -> bool:

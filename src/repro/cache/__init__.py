@@ -21,7 +21,7 @@ directory defaults to ``.repro-cache`` and is overridden with the
 ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``.
 """
 
-from repro.cache.keys import code_salt, unit_key
+from repro.cache.keys import code_salt, sweep_unit_key, unit_key
 from repro.cache.store import CacheStats, ResultCache, default_cache_dir
 
 __all__ = [
@@ -29,5 +29,6 @@ __all__ = [
     "ResultCache",
     "code_salt",
     "default_cache_dir",
+    "sweep_unit_key",
     "unit_key",
 ]

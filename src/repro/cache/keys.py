@@ -29,7 +29,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-__all__ = ["code_salt", "unit_key"]
+__all__ = ["code_salt", "sweep_unit_key", "unit_key"]
 
 #: Package subtrees/files whose source cannot affect experiment rows.
 #: ``perf`` holds the frozen measurement baselines, ``cache`` is this
@@ -119,3 +119,31 @@ def unit_key(
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def sweep_unit_key(
+    unit: Dict[str, Any],
+    salt: Optional[str] = None,
+) -> str:
+    """Content address of one robustness-campaign cell.
+
+    ``unit`` is the cell's resolved coordinate payload
+    (:meth:`repro.sweep.units.SweepUnit.cache_payload`): agent, scale,
+    seed, durations, and the full fault plan — campaign-independent, so
+    equal cells hit across campaigns.  The same code-version salt as
+    :func:`unit_key` applies, so any result-affecting source edit
+    invalidates cached cells structurally.
+
+    Keys carry a literal ``sweep::`` prefix — a distinct namespace from
+    the reproduce-all unit keys that also groups every campaign object
+    under ``objects/sw/`` on disk.
+    """
+    payload = json.dumps(
+        {
+            "ns": "sweep",
+            "unit": _canonical(unit),
+            "salt": code_salt() if salt is None else salt,
+        },
+        sort_keys=True,
+    )
+    return "sweep::" + hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -9,8 +9,11 @@ Subcommands::
                         [--quick] [--only ARTIFACT ...]
                         [--no-cache] [--cache-dir PATH]
                         [--emit-experiments PATH]
-    repro bench [--suite kernel|ml|workloads] [--quick] [--output PATH]
-                [--check-against PATH]
+    repro sweep run SPEC.toml [--workers 8] [--no-cache]
+    repro sweep show SPEC.toml      # expanded grid, nothing executed
+    repro sweep list [DIR]          # committed campaign specs
+    repro bench [--suite kernel|ml|workloads|all] [--quick]
+                [--output PATH] [--check-against PATH]
     repro bench --compare NEW.json BASELINE.json
 
 ``fleet`` prints a fleet-wide report ending in a content digest; runs
@@ -24,6 +27,11 @@ scale, resolved experiment arguments, and a code-version salt, so a
 warm re-run executes zero units and prints bit-identical digests — CI
 smoke-checks exactly that (DESIGN.md §8).  ``--no-cache`` recomputes
 everything.
+
+``sweep run`` executes a declarative robustness campaign
+(``repro.sweep``, DESIGN.md §9) through the same cache (``sweep::``
+namespace) and warm pool: a warm re-run executes zero cells and
+reproduces the campaign digest bit-identically, for any ``--workers``.
 """
 
 from __future__ import annotations
@@ -42,7 +50,12 @@ from repro.experiments.driver import (
     FleetDriver,
     reproduce_all,
 )
-from repro.fleet.config import AGENT_KINDS, FaultPlan, FleetConfig
+from repro.fleet.config import (
+    AGENT_KINDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FleetConfig,
+)
 
 __all__ = ["main"]
 
@@ -92,8 +105,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="burst onset (simulated seconds)")
     fleet.add_argument("--fault-duration", type=int, default=60,
                        help="burst length (simulated seconds)")
-    fleet.add_argument("--fault-probability", type=float, default=0.9,
-                       help="per-read corruption chance inside the burst")
+    fleet.add_argument(
+        "--fault-probability", type=float, default=0.9,
+        help="fault intensity inside the burst: per-read corruption/"
+             "staleness chance, or per-node crash chance for "
+             "crash_restart",
+    )
+    fleet.add_argument(
+        "--fault-kind", default="bad_data", choices=FAULT_KINDS,
+        help="burst kind: invalid values, telemetry dropout/stale "
+             "reads, or agent crash-restart (default: %(default)s)",
+    )
 
     rall = sub.add_parser(
         "reproduce-all", help="regenerate every table and figure"
@@ -131,18 +153,62 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the EXPERIMENTS.md measured-output tables",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="declarative robustness campaigns with a safety scoreboard",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="execute a campaign spec and print its scoreboard"
+    )
+    sweep_run.add_argument(
+        "spec", metavar="SPEC",
+        help="path to a campaign spec (.toml), e.g. "
+             "examples/campaigns/smoke.toml",
+    )
+    sweep_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for cache-miss cells (default: 1)",
+    )
+    sweep_run.add_argument(
+        "--cache", dest="cache", action="store_true", default=True,
+        help="reuse cached cell results (the default)",
+    )
+    sweep_run.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="recompute every cell, ignoring the result cache",
+    )
+    sweep_run.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="result cache location (default: $REPRO_CACHE_DIR or "
+             "./.repro-cache)",
+    )
+    sweep_show = sweep_sub.add_parser(
+        "show", help="expand a campaign spec without executing anything"
+    )
+    sweep_show.add_argument("spec", metavar="SPEC")
+    sweep_list = sweep_sub.add_parser(
+        "list", help="list committed campaign specs"
+    )
+    sweep_list.add_argument(
+        "directory", nargs="?", default="examples/campaigns",
+        help="directory to scan for .toml specs (default: %(default)s)",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="microbenchmarks + end-to-end timings vs the frozen "
              "pre-optimization implementations",
     )
     bench.add_argument(
-        "--suite", choices=("kernel", "ml", "workloads"), default="kernel",
+        "--suite", choices=("kernel", "ml", "workloads", "all"),
+        default="kernel",
         help="kernel: event kernel vs the frozen seed kernel; "
              "ml: learning-epoch hot path vs the frozen per-class path; "
              "workloads: workload/substrate per-event loops vs the "
-             "frozen pre-vectorization path "
-             "(default: %(default)s)",
+             "frozen pre-vectorization path; "
+             "all: every suite in one invocation, merged into one "
+             "report (default: %(default)s)",
     )
     bench.add_argument(
         "--quick", action="store_true",
@@ -210,6 +276,7 @@ def _parse_fault(args: argparse.Namespace) -> Optional[FaultPlan]:
         start_s=args.fault_start,
         duration_s=args.fault_duration,
         probability=args.fault_probability,
+        kind=args.fault_kind,
     )
 
 
@@ -306,14 +373,79 @@ def render_experiments_markdown(
     return "\n".join(lines)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepRunner, load_spec
+
+    if args.sweep_command == "list":
+        specs = []
+        try:
+            names = sorted(os.listdir(args.directory))
+        except OSError as error:
+            raise SystemExit(f"repro: error: {error}")
+        for name in names:
+            if not name.endswith(".toml"):
+                continue
+            path = os.path.join(args.directory, name)
+            try:
+                spec = load_spec(path)
+                cells = len(spec.expand())
+            except (OSError, ValueError) as error:
+                print(f"  {path}: INVALID ({error})")
+                continue
+            specs.append((path, spec, cells))
+        if not specs:
+            print(f"no campaign specs (*.toml) under {args.directory}")
+            return 0
+        print("campaigns:")
+        for path, spec, cells in specs:
+            fault_kinds = ",".join(
+                sorted({axis.kind for axis in spec.faults})
+            ) or "none"
+            print(
+                f"  {path}: {spec.name} — {cells} cells "
+                f"({len(spec.agents)} agents × {len(spec.scales)} scales "
+                f"× {len(spec.seeds)} seeds; faults: {fault_kinds})"
+            )
+        return 0
+
+    try:
+        spec = load_spec(args.spec)
+    except OSError as error:
+        raise SystemExit(f"repro: error: cannot read {args.spec}: {error}")
+
+    if args.sweep_command == "show":
+        units = spec.expand()
+        print(f"== campaign: {spec.name} — {len(units)} cells ==")
+        for unit in units:
+            print(f"  {unit.unit_id()}")
+        return 0
+
+    assert args.sweep_command == "run"
+    cache = None
+    if args.cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    runner = SweepRunner(spec, workers=args.workers, cache=cache)
+    report = runner.run()
+    print(report.render())
+    print(
+        f"[sweep: {len(report.records)} cells, {report.executed} executed, "
+        f"{report.from_cache} from cache, {report.wall_seconds:.1f}s wall]"
+    )
+    if cache is not None:
+        print(f"[cache: {cache.stats.render()} dir={cache.directory}]")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.perf import (
+        build_all_report,
         build_ml_report,
         build_report,
         build_workloads_report,
         compare_reports,
+        compare_warnings,
         render_comparison,
         render_report,
         write_report,
@@ -326,6 +458,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         with open(baseline_path, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
         print(render_comparison(new, baseline, new_path, baseline_path))
+        # One-sided benchmarks (renamed/added/removed scenarios) warn
+        # instead of failing: the comparison is partial, not wrong.
+        for warning in compare_warnings(new, baseline):
+            print(f"WARNING: {warning}", file=sys.stderr)
         problems = compare_reports(
             new, baseline, max_regression=args.max_regression
         )
@@ -345,6 +481,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "kernel": build_report,
         "ml": build_ml_report,
         "workloads": build_workloads_report,
+        "all": build_all_report,
     }[args.suite]
     report = builder(quick=args.quick, repeats=args.repeats)
     output = args.output or f"BENCH_{args.suite}.json"
@@ -354,6 +491,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.check_against:
         with open(args.check_against, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
+        for warning in compare_warnings(report, baseline):
+            print(f"WARNING: {warning}", file=sys.stderr)
         problems = compare_reports(
             report, baseline, max_regression=args.max_regression
         )
@@ -376,6 +515,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fleet(args)
         if args.command == "reproduce-all":
             return _cmd_reproduce_all(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except ValueError as error:

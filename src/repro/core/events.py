@@ -60,6 +60,8 @@ class EventKind(enum.Enum):
     SAFEGUARD_CLEARED = "safeguard_cleared"
     MITIGATION = "mitigation"
     ACTUATOR_CRASH = "actuator_crash"
+    AGENT_KILLED = "agent_killed"
+    AGENT_RESTARTED = "agent_restarted"
     CLEANUP = "cleanup"
 
 
@@ -106,6 +108,9 @@ class EventLog:
         self._counts: Dict[EventKind, int] = {}
         self._default_sent = 0
         self._actions = {"model": 0, "default": 0, "none": 0}
+        self._first_fallback_us: Optional[int] = None
+        self._fallback_watch_from: Optional[int] = None
+        self._first_watched_fallback_us: Optional[int] = None
         if mode == "counts":
             self._ring = deque(maxlen=RING_SIZE)
 
@@ -119,12 +124,22 @@ class EventLog:
         counts = self._counts
         counts[kind] = counts.get(kind, 0) + 1
         if kind is EventKind.ACTUATION:
-            if not details.get("has_prediction"):
-                self._actions["none"] += 1
-            elif details.get("is_default"):
-                self._actions["default"] += 1
-            else:
+            if details.get("has_prediction") and not details.get("is_default"):
                 self._actions["model"] += 1
+            else:
+                bucket = (
+                    "default" if details.get("has_prediction") else "none"
+                )
+                self._actions[bucket] += 1
+                now = self.kernel.now
+                if self._first_fallback_us is None:
+                    self._first_fallback_us = now
+                if (
+                    self._fallback_watch_from is not None
+                    and self._first_watched_fallback_us is None
+                    and now >= self._fallback_watch_from
+                ):
+                    self._first_watched_fallback_us = now
         elif kind is EventKind.PREDICTION_SENT and details.get("is_default"):
             self._default_sent += 1
         if self._ring is not None:
@@ -195,6 +210,33 @@ class EventLog:
     def default_predictions_sent(self) -> int:
         """``PREDICTION_SENT`` events whose prediction was a default."""
         return self._default_sent
+
+    def first_fallback_us(self) -> Optional[int]:
+        """Time of the first non-model actuation (default or none).
+
+        The first simulated instant the Actuator acted without a live
+        model prediction.  ``None`` if every action so far used one.
+        """
+        return self._first_fallback_us
+
+    def watch_fallback_from(self, start_us: int) -> None:
+        """Arm the fallback watch at ``start_us`` (a fault onset).
+
+        Warmup fallbacks routinely happen *before* a fault window (an
+        agent with no telemetry yet acts on defaults), so the safety
+        campaigns' time-to-fallback anchor must be the first fallback
+        **at or after** the onset — not the first ever.  The watch is
+        O(1) per actuation in both log modes; re-arming resets it.
+        """
+        self._fallback_watch_from = start_us
+        self._first_watched_fallback_us = None
+
+    def first_watched_fallback_us(self) -> Optional[int]:
+        """First fallback actuation at/after the armed watch point.
+
+        ``None`` while unarmed or until such an actuation happens.
+        """
+        return self._first_watched_fallback_us
 
     def action_histogram(self) -> Dict[str, int]:
         """``ACTUATION`` events bucketed by prediction provenance.

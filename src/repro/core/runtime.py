@@ -101,18 +101,53 @@ class SolRuntime:
         if self._started:
             raise RuntimeError(f"agent {self.name!r} already started")
         self._started = True
-        self._processes = [
+        self._processes = self._spawn_loops()
+        return self
+
+    def _spawn_loops(self) -> List[Process]:
+        processes = [
             self.kernel.spawn(self._model_loop(), name=f"{self.name}.model"),
             self.kernel.spawn(
                 self._actuator_loop(), name=f"{self.name}.actuator"
             ),
         ]
         if self.policy.assess_actuator:
-            self._processes.append(
+            processes.append(
                 self.kernel.spawn(
                     self._watchdog_loop(), name=f"{self.name}.watchdog"
                 )
             )
+        return processes
+
+    def crash(self) -> None:
+        """Simulated agent-process crash: every loop dies mid-flight.
+
+        Unlike :meth:`terminate`, *nothing* is cleaned up — the node
+        keeps running under the agent's last actuation, exactly as a
+        production node would after its agent process segfaults.  A node
+        supervisor can later :meth:`restart` the agent.
+        """
+        for process in self._processes:
+            process.kill()
+        self.log.record(EventKind.AGENT_KILLED)
+
+    def restart(self) -> "SolRuntime":
+        """Supervisor restart after a :meth:`crash` (or ``terminate``).
+
+        Respawns the loops on the same Model/Actuator instances — the
+        in-memory learned state survives, as it does for supervisors
+        that snapshot/restore or share state out-of-process.  Raises if
+        any loop is still alive.
+        """
+        if not self._started:
+            raise RuntimeError(
+                f"agent {self.name!r} was never started; call start()"
+            )
+        if self.running:
+            raise RuntimeError(f"agent {self.name!r} is still running")
+        self._terminated = False
+        self._processes = self._spawn_loops()
+        self.log.record(EventKind.AGENT_RESTARTED)
         return self
 
     def terminate(self) -> None:
@@ -149,6 +184,8 @@ class SolRuntime:
             "mitigations": self.log.count(EventKind.MITIGATION),
             "model_crashes": self.log.count(EventKind.MODEL_CRASH),
             "actuator_crashes": self.log.count(EventKind.ACTUATOR_CRASH),
+            "agent_kills": self.log.count(EventKind.AGENT_KILLED),
+            "agent_restarts": self.log.count(EventKind.AGENT_RESTARTED),
             "model_safeguard_triggers": self.model_safeguard.trigger_count,
             "actuator_safeguard_triggers": self.actuator_safeguard.trigger_count,
             "model_safeguard_duration_us": (

@@ -83,6 +83,34 @@ class SafeguardState:
         """Whether the safeguard is currently triggered."""
         return self._active
 
+    @property
+    def first_triggered_at_us(self) -> Optional[int]:
+        """When this safeguard first engaged, or ``None`` if it never has.
+
+        Closed activation windows are recorded oldest-first, so the
+        earliest engagement is the first window's start — or the open
+        window's start if the safeguard triggered once and never cleared.
+        """
+        if self.windows:
+            return self.windows[0][0]
+        return self._activated_at
+
+    def first_triggered_at_us_since(self, start_us: int) -> Optional[int]:
+        """First engagement at or after ``start_us``, or ``None``.
+
+        The safety campaigns anchor time-to-fallback at the fault
+        onset; safeguards that tripped during pre-fault warmup must not
+        satisfy the query.  Closed windows are recorded
+        chronologically, and an open window always starts after every
+        closed one, so a linear scan suffices (trigger counts are tiny).
+        """
+        for window_start, _end in self.windows:
+            if window_start >= start_us:
+                return window_start
+        if self._activated_at is not None and self._activated_at >= start_us:
+            return self._activated_at
+        return None
+
     def trigger(self) -> bool:
         """Mark unsafe; returns ``True`` on a fresh transition."""
         if self._active:

@@ -32,9 +32,10 @@ Workers are plain processes; each imports :mod:`repro` afresh, so the
 pool works both with an installed package and with the ``src/``-path
 bootstrap (the initializer re-exports this process's ``sys.path``).
 The pool itself is *warm*: one process-wide pool is created on first
-use and reused by every fleet run, ``reproduce_all`` pass, and
-``repro bench`` invocation in the process, so repeated runs stop
-paying pool spawn + re-import per call (:func:`shared_pool`).
+use and reused by every fleet run, ``reproduce_all`` pass,
+``repro bench`` invocation, and robustness-campaign sweep
+(:class:`repro.sweep.SweepRunner`) in the process, so repeated runs
+stop paying pool spawn + re-import per call (:func:`shared_pool`).
 """
 
 from __future__ import annotations

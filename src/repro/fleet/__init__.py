@@ -20,12 +20,19 @@ Entry points:
 """
 
 from repro.fleet.aggregate import FleetAggregate
-from repro.fleet.config import AGENT_KINDS, FaultPlan, FleetConfig, NodeSpec
+from repro.fleet.config import (
+    AGENT_KINDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FleetConfig,
+    NodeSpec,
+)
 from repro.fleet.node import FleetNode, NodeResult
 from repro.fleet.scenario import FleetScenario
 
 __all__ = [
     "AGENT_KINDS",
+    "FAULT_KINDS",
     "FaultPlan",
     "FleetAggregate",
     "FleetConfig",

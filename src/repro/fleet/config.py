@@ -17,39 +17,55 @@ import numpy as np
 from repro.platform.taxonomy import NODE_SKUS, NodeSku
 from repro.sim.rng import stable_hash
 
-__all__ = ["AGENT_KINDS", "FaultPlan", "FleetConfig", "NodeSpec"]
+__all__ = [
+    "AGENT_KINDS", "FAULT_KINDS", "FaultPlan", "FleetConfig", "NodeSpec",
+]
 
 #: Agent kinds a fleet node can run ("mixed" draws one per node).
 AGENT_KINDS: Tuple[str, ...] = ("overclock", "harvest", "memory")
 
+#: Correlated fault kinds a :class:`FaultPlan` can inject (dispatched by
+#: :func:`repro.fleet.faults.attach_burst`): invalid telemetry values,
+#: telemetry dropout/stale reads, and whole-agent crash-restart.
+FAULT_KINDS: Tuple[str, ...] = ("bad_data", "dropout", "crash_restart")
+
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A correlated invalid-data burst across whole racks.
+    """A correlated fault burst across whole racks.
 
-    Models a rack-level telemetry failure (bad firmware push, broken
-    ToR-switch counter relay): every node in the affected racks starts
-    receiving corrupt model inputs at the same simulated instant, for
-    the same duration — the fleet-scale version of the paper's Figure
-    2/6 invalid-data experiments.
+    Models a rack-level failure (bad firmware push, broken ToR-switch
+    counter relay, a poisoned agent rollout): every node in the affected
+    racks is hit at the same simulated instant, for the same duration —
+    the fleet-scale version of the paper's §6.1 failure injections.
 
     Attributes:
         racks: rack indices the burst hits.
         start_s: burst onset, seconds of simulated time.
         duration_s: burst length in seconds.
-        probability: chance each read inside the window is corrupted.
+        probability: fault intensity inside the window — per-read
+            corruption chance (``bad_data``), per-read stale/dropped
+            chance (``dropout``), or per-node crash chance
+            (``crash_restart``).
+        kind: one of :data:`FAULT_KINDS`.
     """
 
     racks: Tuple[int, ...] = (0,)
     start_s: int = 30
     duration_s: int = 60
     probability: float = 0.9
+    kind: str = "bad_data"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         if self.start_s < 0 or self.duration_s <= 0:
             raise ValueError("burst window must have positive extent")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
 
 
 @dataclass(frozen=True)

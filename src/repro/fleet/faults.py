@@ -5,14 +5,29 @@ every read for a whole run.  At fleet scale the interesting failure is
 *correlated and transient* — a bad telemetry rollout hits every node of
 a rack at once, then gets rolled back.  :func:`windowed` wraps any
 injector so it only fires inside a simulated time window, and
-:func:`attach_burst` wires the right injector for each agent kind.
+:func:`attach_burst` wires the right injector for each agent kind and
+fault kind (:data:`repro.fleet.config.FAULT_KINDS`):
+
+* ``bad_data`` — out-of-range / sentinel telemetry values (the paper's
+  Figure 2/6 invalid-data failure, rack-correlated);
+* ``dropout`` — telemetry dropout and stale reads: the collection
+  pipeline serves its last cached value (overclock/harvest) or loses
+  whole scan batches (memory);
+* ``crash_restart`` — the agent process dies at burst onset and a node
+  supervisor restarts it when the burst ends; ``probability`` is the
+  per-node chance of being part of the crashing rollout.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Tuple, TypeVar
 
-from repro.node.faults import bad_ips_injector, stuck_usage_injector
+from repro.node.faults import (
+    StaleReadInjector,
+    bad_ips_injector,
+    dropped_batch_injector,
+    stuck_usage_injector,
+)
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RngStreams
 
@@ -46,20 +61,38 @@ def attach_burst(
     streams: RngStreams,
     window_us: Tuple[int, int],
     probability: float,
+    kind: str = "bad_data",
 ) -> None:
-    """Attach this node's share of a rack-wide invalid-data burst.
+    """Attach this node's share of a rack-wide fault burst.
 
-    Each agent kind has a different telemetry boundary, so the burst
-    enters at a different point:
+    Each agent kind has a different telemetry boundary, so a data-plane
+    burst enters at a different point per agent; a ``crash_restart``
+    burst instead hits the control plane (the SOL runtime) identically
+    for every agent kind.
+    """
+    rng = streams.get("fleet.fault")
+    if kind == "bad_data":
+        _attach_bad_data(kernel, agent_kind, agent, rng, window_us,
+                         probability)
+    elif kind == "dropout":
+        _attach_dropout(kernel, agent_kind, agent, rng, window_us,
+                        probability)
+    elif kind == "crash_restart":
+        _attach_crash_restart(kernel, agent, rng, window_us, probability)
+    else:  # pragma: no cover - FaultPlan validation rejects this earlier
+        raise ValueError(f"unknown fault kind {kind!r}")
 
-    * ``overclock`` — out-of-range IPS readings at the counter reader
-      (Figure 2's fault, time-limited);
-    * ``harvest`` — stuck usage-sample sentinels at the model input
-      (Figure 6-left's fault);
+
+def _attach_bad_data(
+    kernel, agent_kind, agent, rng, window_us, probability
+) -> None:
+    """Invalid telemetry values (Figure 2 / Figure 6-left, correlated).
+
+    * ``overclock`` — out-of-range IPS readings at the counter reader;
+    * ``harvest`` — stuck usage-sample sentinels at the model input;
     * ``memory`` — access-bit scan faults in the page-table walker,
       raised for the window then restored.
     """
-    rng = streams.get("fleet.fault")
     if agent_kind == "overclock":
         agent.reader.add_injector(
             windowed(kernel, bad_ips_injector(rng, probability), window_us)
@@ -80,3 +113,53 @@ def attach_burst(
         )
     else:  # pragma: no cover - config validation rejects this earlier
         raise ValueError(f"unknown agent kind {agent_kind!r}")
+
+
+def _attach_dropout(
+    kernel, agent_kind, agent, rng, window_us, probability
+) -> None:
+    """Telemetry dropout / stale reads at each agent's collection boundary.
+
+    * ``overclock`` — the counter reader serves its last cached interval
+      metrics (a wedged metrics daemon);
+    * ``harvest`` — the hypervisor usage feed repeats the last sample
+      window (stale reads at the model input);
+    * ``memory`` — whole scan batches are lost in the telemetry
+      transport (all results errored, so ``validate_data`` discards
+      them).
+    """
+    if agent_kind == "overclock":
+        agent.reader.add_injector(
+            windowed(kernel, StaleReadInjector(rng, probability), window_us)
+        )
+    elif agent_kind == "harvest":
+        agent.model.injectors.append(
+            windowed(kernel, StaleReadInjector(rng, probability), window_us)
+        )
+    elif agent_kind == "memory":
+        agent.model.injectors.append(
+            windowed(
+                kernel, dropped_batch_injector(rng, probability), window_us
+            )
+        )
+    else:  # pragma: no cover - config validation rejects this earlier
+        raise ValueError(f"unknown agent kind {agent_kind!r}")
+
+
+def _attach_crash_restart(
+    kernel, agent, rng, window_us, probability
+) -> None:
+    """Kill the agent at burst onset, supervisor-restart it at burst end.
+
+    One Bernoulli draw per node decides whether this node is part of
+    the crashing rollout (``probability`` = blast-radius intensity).
+    The draw happens at attach time, from the node's own fault stream,
+    so the decision is a pure function of the node seed — sharding
+    cannot change which nodes crash.
+    """
+    if rng.random() >= probability:
+        return
+    start_us, end_us = window_us
+    runtime = agent.runtime
+    kernel.call_at(start_us, runtime.crash)
+    kernel.call_at(end_us, lambda: runtime.restart())

@@ -117,8 +117,11 @@ class FleetNode:
         spec: the node's resolved plan (SKU, agent, workload, seed).
         duration_s: simulated seconds to run.
         fault_window_us: optional ``(start, end)`` of a correlated
-            invalid-data burst this node participates in.
-        fault_probability: per-read corruption chance inside the window.
+            fault burst this node participates in.
+        fault_probability: fault intensity inside the window (per-read
+            corruption/staleness chance, or per-node crash chance for
+            ``crash_restart``).
+        fault_kind: burst kind (:data:`repro.fleet.config.FAULT_KINDS`).
         log_mode: runtime event-log mode.  Fleet aggregation needs only
             counters, so the default is ``"counts"`` (no per-event
             allocation); pass ``"full"`` to keep every event.  Results
@@ -133,6 +136,7 @@ class FleetNode:
         fault_window_us: Optional[Tuple[int, int]] = None,
         fault_probability: float = 0.0,
         log_mode: str = "counts",
+        fault_kind: str = "bad_data",
     ) -> None:
         self.spec = spec
         self.duration_s = duration_s
@@ -141,6 +145,7 @@ class FleetNode:
         self.streams = RngStreams(spec.seed)
         self._windows: List[bool] = []  # True = violated
 
+        self._fault_window_us = fault_window_us
         builder = getattr(self, f"_build_{spec.agent}")
         self.agent = builder()
         if fault_window_us is not None:
@@ -151,7 +156,11 @@ class FleetNode:
                 self.streams,
                 fault_window_us,
                 fault_probability,
+                kind=fault_kind,
             )
+            # Time-to-fallback is anchored at the burst onset; warmup
+            # fallbacks before it must not satisfy the query.
+            self.agent.runtime.log.watch_fallback_from(fault_window_us[0])
 
     # -- per-agent assembly -------------------------------------------------
 
@@ -268,6 +277,32 @@ class FleetNode:
         self.kernel.run(until=self.duration_s * SEC)
         runtime = self.agent.runtime
         stats = runtime.stats()
+        # Safety-timing extras the sweep campaigns consume.  These live
+        # only in NodeResult.stats, which the fleet digest's canonical
+        # form deliberately excludes — pinned digests are unaffected.
+        stats["model_safeguard_first_trigger_us"] = (
+            runtime.model_safeguard.first_triggered_at_us
+        )
+        stats["actuator_safeguard_first_trigger_us"] = (
+            runtime.actuator_safeguard.first_triggered_at_us
+        )
+        stats["first_fallback_us"] = runtime.log.first_fallback_us()
+        if self._fault_window_us is not None:
+            # Engagement anchors for the sweep campaigns: the first
+            # signal *at or after* the burst onset (warmup fallbacks and
+            # pre-fault safeguard trips must not count as engagement).
+            onset_us = self._fault_window_us[0]
+            stats["model_safeguard_first_trigger_since_fault_us"] = (
+                runtime.model_safeguard.first_triggered_at_us_since(onset_us)
+            )
+            stats["actuator_safeguard_first_trigger_since_fault_us"] = (
+                runtime.actuator_safeguard.first_triggered_at_us_since(
+                    onset_us
+                )
+            )
+            stats["first_fallback_since_fault_us"] = (
+                runtime.log.first_watched_fallback_us()
+            )
         try:
             perf = self.workload.performance()
             perf_metric, perf_value = perf.metric, float(perf.value)

@@ -38,6 +38,9 @@ class FleetScenario:
             fault_probability=(
                 self.config.fault.probability if self.config.fault else 0.0
             ),
+            fault_kind=(
+                self.config.fault.kind if self.config.fault else "bad_data"
+            ),
         )
 
     def run(

@@ -13,14 +13,25 @@ The paper evaluates SOL by injecting failures "into the system" (§6.1):
   via :class:`DelayInjector`, which the SOL runtime consults between
   operations.
 
-Keeping injection at these three boundaries matches where production
+Beyond the paper's three, the robustness campaigns (``repro.sweep``)
+need failure modes §3.2 only gestures at:
+
+* **telemetry dropout / stale reads** — a wedged telemetry daemon keeps
+  serving its last cached value instead of fresh readings
+  (:class:`StaleReadInjector`), or a scan batch is lost outright
+  (:func:`dropped_batch_injector`);
+* **agent crash-restart** — the whole agent process dies and a node
+  supervisor later restarts it (``SolRuntime.crash`` / ``restart``,
+  scheduled fleet-wide by :func:`repro.fleet.faults.attach_burst`).
+
+Keeping injection at these boundaries matches where production
 failures actually enter: the driver, the learner, and the scheduler.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -29,9 +40,13 @@ from repro.node.counters import IntervalMetrics
 __all__ = [
     "bad_ips_injector",
     "bad_usage_injector",
+    "dropped_batch_injector",
     "ModelBreaker",
     "DelayInjector",
+    "StaleReadInjector",
 ]
+
+T = TypeVar("T")
 
 
 def bad_ips_injector(
@@ -107,6 +122,66 @@ def stuck_usage_injector(
         if rng.random() < probability:
             return np.full_like(samples, sentinel)
         return samples
+
+    return inject
+
+
+class StaleReadInjector(Generic[T]):
+    """Telemetry dropout: a fraction of reads return the *last* value.
+
+    Models a wedged telemetry daemon (or a dropped refresh in a polled
+    metrics pipeline) that keeps serving its cached reading: with
+    probability ``probability`` the consumer receives the most recent
+    genuine value again instead of a fresh one.  Works on any read type
+    — :class:`~repro.node.counters.IntervalMetrics` at the counter
+    boundary, usage-sample arrays at the model boundary (arrays are
+    defensively copied so later buffer reuse cannot mutate the stale
+    snapshot).
+
+    The first read always passes through (there is nothing stale to
+    serve yet); :attr:`stale_reads` counts how many reads were served
+    stale.
+    """
+
+    def __init__(
+        self, rng: np.random.Generator, probability: float
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.rng = rng
+        self.probability = probability
+        self.stale_reads = 0
+        self._last: Optional[T] = None
+
+    def __call__(self, value: T) -> T:
+        if self._last is not None and self.rng.random() < self.probability:
+            self.stale_reads += 1
+            return self._last
+        self._last = (
+            value.copy() if isinstance(value, np.ndarray) else value
+        )
+        return value
+
+
+def dropped_batch_injector(
+    rng: np.random.Generator,
+    probability: float,
+) -> Callable[[List], List]:
+    """Scan-batch telemetry dropout (SmartMemory's collection boundary).
+
+    With probability ``probability`` an entire scan batch is lost — every
+    result in it comes back flagged as an error, exactly what a telemetry
+    transport dropping a poll cycle looks like to the agent.  SmartMemory's
+    ``validate_data`` then discards the batch (all-errored), starving the
+    epoch of data until the default-prediction safeguard engages.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+
+    def inject(batch: List) -> List:
+        if batch and rng.random() < probability:
+            return [replace(result, error=True) for result in batch]
+        return batch
 
     return inject
 

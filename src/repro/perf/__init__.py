@@ -16,10 +16,13 @@ the measurement baselines; never import them from production code.
 
 from repro.perf.harness import (
     SEED_BASELINES,
+    build_all_report,
     build_ml_report,
     build_report,
     build_workloads_report,
     compare_reports,
+    compare_warnings,
+    merge_suite_reports,
     render_comparison,
     render_report,
     write_report,
@@ -27,10 +30,13 @@ from repro.perf.harness import (
 
 __all__ = [
     "SEED_BASELINES",
+    "build_all_report",
     "build_ml_report",
     "build_report",
     "build_workloads_report",
     "compare_reports",
+    "compare_warnings",
+    "merge_suite_reports",
     "render_comparison",
     "render_report",
     "write_report",

@@ -59,10 +59,13 @@ from repro.perf.microbench_workloads import (
 
 __all__ = [
     "SEED_BASELINES",
+    "build_all_report",
     "build_ml_report",
     "build_report",
     "build_workloads_report",
     "compare_reports",
+    "compare_warnings",
+    "merge_suite_reports",
     "render_comparison",
     "render_report",
     "write_report",
@@ -410,6 +413,60 @@ def build_workloads_report(
     return report
 
 
+def merge_suite_reports(
+    reports: Dict[str, Dict[str, Any]], quick: bool = False
+) -> Dict[str, Any]:
+    """Merge per-suite bench reports into one ``suite: "all"`` report.
+
+    Benchmark names are namespaced ``<suite>/<name>`` so the merged
+    report stays a valid input to :func:`compare_reports` /
+    :func:`render_comparison`; the merged ``geomean_speedup`` spans
+    every microbenchmark of every suite, and per-suite geomeans are
+    kept under ``suites``.
+    """
+    merged: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "suite": "all",
+        "quick": quick,
+        "microbench": {},
+        "suites": {},
+    }
+    speedups: List[float] = []
+    for suite, report in reports.items():
+        micro = report.get("microbench", {})
+        for name, entry in micro.items():
+            if isinstance(entry, dict) and "speedup" in entry:
+                merged["microbench"][f"{suite}/{name}"] = entry
+                speedups.append(entry["speedup"])
+        merged["suites"][suite] = {
+            "geomean_speedup": micro.get("geomean_speedup")
+        }
+        for name, entry in report.get("end_to_end", {}).items():
+            merged.setdefault("end_to_end", {})[f"{suite}/{name}"] = entry
+    if speedups:
+        merged["microbench"]["geomean_speedup"] = round(
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
+        )
+    return merged
+
+
+def build_all_report(quick: bool = False, repeats: int = 3) -> Dict[str, Any]:
+    """The ``repro bench --suite all`` report: every suite, one file.
+
+    Runs the kernel, ML, and workloads suites in sequence and merges
+    them (:func:`merge_suite_reports`) so one invocation leaves one
+    report covering every microbenchmark and end-to-end check.
+    """
+    return merge_suite_reports(
+        {
+            "kernel": build_report(quick=quick, repeats=repeats),
+            "ml": build_ml_report(quick=quick, repeats=repeats),
+            "workloads": build_workloads_report(quick=quick, repeats=repeats),
+        },
+        quick=quick,
+    )
+
+
 def write_report(report: Dict[str, Any], path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -428,6 +485,10 @@ def compare_reports(
     ``max_regression`` below the baseline ratio) and the end-to-end
     digest check (must not flip to False).  Returns human-readable
     problem strings; empty means pass.
+
+    Benchmarks present in only one report are *not* problems — they are
+    warnings (:func:`compare_warnings`): a renamed or newly-added
+    scenario should not hard-fail a comparison against an older report.
     """
     problems: List[str] = []
     new_micro = new.get("microbench", {})
@@ -435,9 +496,8 @@ def compare_reports(
         if not isinstance(entry, dict) or "speedup" not in entry:
             continue
         current = new_micro.get(name)
-        if current is None:
-            problems.append(f"microbench {name!r} missing from new report")
-            continue
+        if not isinstance(current, dict) or "speedup" not in current:
+            continue  # one-sided benchmark: warned, not gated
         floor = entry["speedup"] * (1.0 - max_regression)
         if current["speedup"] < floor:
             problems.append(
@@ -459,6 +519,48 @@ def compare_reports(
                 "(not all-hit)"
             )
     return problems
+
+
+def compare_warnings(
+    new: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Benchmarks present in only one of two reports (either side).
+
+    These make a comparison *partial*, not failed — callers print them
+    as warnings while :func:`compare_reports` gates only on benchmarks
+    both reports measured.  Also flags a suite mismatch, the most common
+    way to end up with fully disjoint benchmark sets.
+    """
+
+    def measured(report: Dict[str, Any]) -> set:
+        return {
+            name
+            for name, entry in report.get("microbench", {}).items()
+            if isinstance(entry, dict) and "speedup" in entry
+        }
+
+    warnings: List[str] = []
+    new_suite = new.get("suite", "?")
+    baseline_suite = baseline.get("suite", "?")
+    if new_suite != baseline_suite:
+        warnings.append(
+            f"comparing different suites ({new_suite!r} vs "
+            f"{baseline_suite!r})"
+        )
+    new_names, baseline_names = measured(new), measured(baseline)
+    only_baseline = sorted(baseline_names - new_names)
+    only_new = sorted(new_names - baseline_names)
+    if only_baseline:
+        warnings.append(
+            "benchmarks only in the baseline report (not compared): "
+            + ", ".join(only_baseline)
+        )
+    if only_new:
+        warnings.append(
+            "benchmarks only in the new report (not compared): "
+            + ", ".join(only_new)
+        )
+    return warnings
 
 
 def render_comparison(
@@ -536,6 +638,12 @@ def render_report(report: Dict[str, Any]) -> str:
             f"  {suite} microbenchmark geomean speedup: "
             f"{micro['geomean_speedup']:.2f}x"
         )
+    for name, entry in report.get("suites", {}).items():
+        if entry.get("geomean_speedup") is not None:
+            lines.append(
+                f"    {name} suite geomean: "
+                f"{entry['geomean_speedup']:.2f}x"
+            )
     for name, entry in report.get("end_to_end", {}).items():
         wall = entry["wall_s"]
         extra = ""

@@ -110,7 +110,24 @@ class SimQueue:
         timer = None
         if timeout_us is not None:
             timer = kernel.succeed_later(timeout_us, waiter, QUEUE_TIMEOUT)
-        value = yield waiter
+        try:
+            value = yield waiter
+        except BaseException:
+            # Killed (crash-restart fault, SRE terminate) mid-wait: the
+            # kernel already discarded this process from the waiter
+            # event, but the event itself is still registered here — a
+            # later put() would pop it, succeed() it, and silently
+            # swallow the item a *live* consumer should have received.
+            # Deregister and cancel the timeout; the event is NOT
+            # returned to the freelist (the timer may still hold it).
+            try:
+                self._getters.remove(waiter)
+            except ValueError:
+                pass
+            if timer is not None and timer._action is not None:
+                timer._action = None
+                kernel._note_cancelled_timer()
+            raise
         if timer is not None and timer._action is not None:
             # An item won the race: cancel the timeout so it doesn't sit
             # in the kernel heap as a dead entry (the seed kernel leaked

@@ -1,0 +1,115 @@
+"""The campaign engine: cache-aware, longest-first parallel dispatch.
+
+:class:`SweepRunner` executes a :class:`~repro.sweep.spec.CampaignSpec`
+the same way ``reproduce_all`` executes the paper's artifacts
+(DESIGN.md §8): every cell is first probed in the content-addressed
+result cache under its ``sweep::`` key; only misses are dispatched, and
+they go longest-first (estimated node-seconds) through the process-wide
+warm worker pool (:func:`repro.experiments.driver.shared_pool`).  A
+warm re-run therefore executes zero cells, and editing one axis of a
+campaign re-executes only the changed cells — everything else loads.
+
+Cell results are pure functions of cell coordinates, so completion
+order and worker count cannot change a record bit; the
+:class:`~repro.sweep.safety.CampaignReport` digest pins this.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.cache import ResultCache, sweep_unit_key
+from repro.sweep.safety import CampaignReport, SafetyRecord
+from repro.sweep.spec import CampaignSpec
+from repro.sweep.units import SweepUnit, run_unit
+
+__all__ = ["SweepRunner"]
+
+_CACHE_MISS = object()
+
+
+class SweepRunner:
+    """Run one campaign, incrementally and (optionally) in parallel.
+
+    Args:
+        spec: the campaign grid.
+        workers: worker processes; 1 runs cells inline, >1 dispatches
+            cache misses onto the shared warm pool.
+        cache: consult (and fill) this result cache per cell; ``None``
+            recomputes everything.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spec = spec
+        self.workers = workers
+        self.cache = cache
+
+    def run(self) -> CampaignReport:
+        """Execute the grid and aggregate the safety scoreboard."""
+        started = time.perf_counter()
+        units = self.spec.expand()
+        records: Dict[str, SafetyRecord] = {}
+        misses: List[SweepUnit] = []
+        for unit in units:
+            payload = (
+                _CACHE_MISS
+                if self.cache is None
+                else self.cache.get(
+                    sweep_unit_key(unit.cache_payload()), _CACHE_MISS
+                )
+            )
+            if payload is _CACHE_MISS:
+                misses.append(unit)
+            else:
+                records[unit.unit_id()] = payload
+        # Longest-first dispatch (estimated node-seconds, then canonical
+        # order): the biggest fleets land first so they never trail the
+        # makespan.  Purely a wall-clock concern — results cannot move.
+        misses.sort(key=lambda u: (-u.estimated_cost(), u.sort_key()))
+        for unit, record in self._execute(misses):
+            if self.cache is not None:
+                self.cache.put(sweep_unit_key(unit.cache_payload()), record)
+            records[unit.unit_id()] = record
+        return CampaignReport.build(
+            self.spec.name,
+            records.values(),
+            executed=len(misses),
+            from_cache=len(units) - len(misses),
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def _execute(self, misses: List[SweepUnit]):
+        """Yield ``(unit, record)`` for every miss, inline or pooled."""
+        if not misses:
+            return
+        workers = min(
+            self.workers, len(misses), os.cpu_count() or self.workers
+        )
+        if workers == 1 or len(misses) == 1:
+            for unit in misses:
+                yield unit, run_unit(unit)
+            return
+        # Imported lazily so a serial sweep never touches the pool
+        # machinery; the pool itself is the process-wide warm pool the
+        # fleet driver and reproduce_all already share.
+        from repro.experiments.driver import shared_pool, shutdown_shared_pool
+
+        by_id = {unit.unit_id(): unit for unit in misses}
+        pool = shared_pool(workers)
+        try:
+            for record in pool.imap_unordered(run_unit, misses):
+                yield by_id[record.unit_id], record
+        except BaseException:
+            # Mirror the driver: don't leave queued cells grinding in
+            # the warm pool after the caller has seen the failure.
+            shutdown_shared_pool()
+            raise

@@ -1,0 +1,150 @@
+"""Sweep cells: one deterministic fleet simulation per grid point.
+
+A :class:`SweepUnit` is a fully-resolved campaign cell — agent kind,
+fleet scale, seed, and fault coordinates.  Its identity
+(:meth:`SweepUnit.unit_id`) and its cache address
+(:func:`repro.cache.keys.sweep_unit_key` over
+:meth:`SweepUnit.cache_payload`) depend only on those coordinates,
+*never* on the campaign name or the position in the grid — so cells are
+shared between campaigns and re-running a campaign after editing one
+axis only executes the changed cells.
+
+:func:`run_unit` is the worker entry point: build the cell's
+:class:`~repro.fleet.config.FleetConfig`, simulate it serially inside
+the worker (parallelism lives *across* cells), and reduce the fleet
+results to a :class:`~repro.sweep.safety.SafetyRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.fleet.aggregate import FleetAggregate
+from repro.fleet.config import FaultPlan, FleetConfig
+from repro.fleet.scenario import FleetScenario
+
+__all__ = ["SweepUnit", "run_unit"]
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One cell of a campaign grid (baseline when ``fault_kind`` is None).
+
+    Attributes:
+        agent: agent kind (or ``"mixed"``).
+        n_nodes: fleet scale.
+        seed: fleet master seed.
+        duration_s: simulated seconds per node.
+        rack_size: nodes per rack (fault blast radius).
+        fault_kind: :data:`repro.fleet.config.FAULT_KINDS` member, or
+            ``None`` for the no-fault baseline cell.
+        intensity: fault intensity (0.0 on baseline cells).
+        fault_start_s / fault_duration_s: burst window, seconds.
+        racks: rack indices hit by the burst.
+    """
+
+    agent: str
+    n_nodes: int
+    seed: int
+    duration_s: int
+    rack_size: int
+    fault_kind: Optional[str] = None
+    intensity: float = 0.0
+    fault_start_s: int = 0
+    fault_duration_s: int = 0
+    racks: Tuple[int, ...] = ()
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.fault_kind is None
+
+    def unit_id(self) -> str:
+        """Canonical human-readable cell identity."""
+        if self.fault_kind is None:
+            fault = "baseline"
+        else:
+            racks = ",".join(str(r) for r in self.racks)
+            fault = (
+                f"{self.fault_kind}@{self.intensity!r}"
+                f"[{self.fault_start_s}+{self.fault_duration_s}]r{racks}"
+            )
+        return (
+            f"{self.agent}/n{self.n_nodes}/x{self.duration_s}s"
+            f"/seed{self.seed}/{fault}"
+        )
+
+    def sort_key(self) -> Tuple:
+        """Deterministic canonical grid order."""
+        return (
+            self.agent,
+            self.n_nodes,
+            self.seed,
+            self.fault_kind or "",
+            self.intensity,
+            self.fault_start_s,
+            self.fault_duration_s,
+            self.racks,
+        )
+
+    def baseline_key(self) -> Tuple[str, int, int]:
+        """Coordinates of the baseline cell this cell compares against."""
+        return (self.agent, self.n_nodes, self.seed)
+
+    def cache_payload(self) -> Dict[str, Any]:
+        """Everything the cell's result can depend on (for the cache key).
+
+        Campaign-independent by design: the campaign name and grid
+        position are absent, so equal cells hit across campaigns.
+        """
+        return {
+            "agent": self.agent,
+            "n_nodes": self.n_nodes,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "rack_size": self.rack_size,
+            "fault_kind": self.fault_kind,
+            "intensity": self.intensity,
+            "fault_start_s": self.fault_start_s,
+            "fault_duration_s": self.fault_duration_s,
+            "racks": list(self.racks),
+        }
+
+    def fleet_config(self) -> FleetConfig:
+        """The cell's fully-resolved fleet configuration."""
+        fault = None
+        if self.fault_kind is not None:
+            fault = FaultPlan(
+                racks=self.racks,
+                start_s=self.fault_start_s,
+                duration_s=self.fault_duration_s,
+                probability=self.intensity,
+                kind=self.fault_kind,
+            )
+        return FleetConfig(
+            n_nodes=self.n_nodes,
+            agent=self.agent,
+            seed=self.seed,
+            duration_s=self.duration_s,
+            rack_size=self.rack_size,
+            fault=fault,
+        )
+
+    def estimated_cost(self) -> float:
+        """Dispatch-cost heuristic: total simulated node-seconds."""
+        return float(self.n_nodes * self.duration_s)
+
+
+def run_unit(unit: SweepUnit) -> "SafetyRecord":
+    """Simulate one cell and reduce it to its safety record.
+
+    Pure in the unit's coordinates: the fleet derives every per-node
+    decision from ``(seed, node_id)``, so any worker, in any order,
+    produces a bit-identical record (the campaign digest pins this).
+    """
+    from repro.sweep.safety import SafetyRecord
+
+    aggregate = FleetAggregate.from_results(
+        FleetScenario(unit.fleet_config()).run()
+    )
+    return SafetyRecord.from_fleet(unit, aggregate)

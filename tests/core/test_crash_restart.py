@@ -1,0 +1,106 @@
+"""Agent crash-restart: loops die mid-flight, a supervisor revives them."""
+
+import pytest
+
+from repro.core import EventKind, SolRuntime
+from repro.sim import Kernel
+from repro.sim.units import SEC
+
+from tests.core.helpers import RecordingActuator, ScriptedModel
+from tests.core.test_runtime import make_schedule, start_agent
+
+
+def test_crash_stops_all_loops_without_cleanup():
+    kernel = Kernel()
+    model = ScriptedModel(kernel)
+    actuator = RecordingActuator(kernel)
+    runtime = start_agent(kernel, model, actuator)
+    kernel.run(until=3 * SEC)
+    runtime.crash()
+    assert not runtime.running
+    # A crash is not the SRE path: clean_up must NOT have run.
+    assert actuator.cleanups == 0
+    actions_at_crash = len(actuator.actions)
+    kernel.run(until=6 * SEC)
+    # Nothing acts while the agent is down.
+    assert len(actuator.actions) == actions_at_crash
+    assert runtime.stats()["agent_kills"] == 1
+    assert runtime.stats()["agent_restarts"] == 0
+
+
+def test_restart_revives_the_loops():
+    kernel = Kernel()
+    model = ScriptedModel(kernel, predictor=lambda: 7.0)
+    actuator = RecordingActuator(kernel)
+    runtime = start_agent(kernel, model, actuator)
+    kernel.run(until=3 * SEC)
+    runtime.crash()
+    kernel.run(until=5 * SEC)
+    downtime_actions = len(actuator.actions)
+    runtime.restart()
+    assert runtime.running
+    kernel.run(until=10 * SEC)
+    assert len(actuator.actions) > downtime_actions
+    # Learned state survived: the model keeps predicting its value.
+    assert any(value == 7.0 for _t, value, _d in actuator.actions[downtime_actions:])
+    stats = runtime.stats()
+    assert stats["agent_kills"] == 1
+    assert stats["agent_restarts"] == 1
+
+
+def test_restart_requires_dead_loops():
+    kernel = Kernel()
+    runtime = start_agent(
+        kernel, ScriptedModel(kernel), RecordingActuator(kernel)
+    )
+    with pytest.raises(RuntimeError):
+        runtime.restart()
+
+
+def test_restart_requires_a_started_agent():
+    kernel = Kernel()
+    runtime = SolRuntime(
+        kernel, ScriptedModel(kernel), RecordingActuator(kernel),
+        make_schedule(),
+    )
+    with pytest.raises(RuntimeError):
+        runtime.restart()
+
+
+def test_crash_then_terminate_still_cleans_up():
+    kernel = Kernel()
+    actuator = RecordingActuator(kernel)
+    runtime = start_agent(kernel, ScriptedModel(kernel), actuator)
+    kernel.run(until=2 * SEC)
+    runtime.crash()
+    runtime.terminate()
+    assert actuator.cleanups == 1
+
+
+def test_first_prediction_after_restart_is_not_swallowed():
+    """The stale queue waiter of a killed Actuator must be deregistered.
+
+    Without the SimQueue.get kill-path cleanup, the restarted Actuator
+    registers a second waiter behind the dead one and the Model's first
+    prediction after the restart vanishes into the dead event.
+    """
+    kernel = Kernel()
+    model = ScriptedModel(kernel, predictor=lambda: 9.0)
+    actuator = RecordingActuator(kernel)
+    # A long actuation timeout keeps the Actuator parked in queue.get
+    # at crash time — the regression scenario.
+    runtime = start_agent(
+        kernel, model, actuator,
+        schedule=make_schedule(max_actuation_delay_us=60 * SEC),
+    )
+    kernel.run(until=1_600_000)  # mid-epoch: actuator is waiting
+    runtime.crash()
+    runtime.restart()
+    kernel.run(until=10 * SEC)
+    model_actions = [
+        value for _t, value, is_default in actuator.actions
+        if is_default is False
+    ]
+    # Every post-restart epoch's prediction reached the actuator; in
+    # particular the first one was not swallowed by the dead waiter.
+    assert len(model_actions) >= 8

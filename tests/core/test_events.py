@@ -41,3 +41,57 @@ def test_str_rendering_mentions_kind():
     event = log.record(EventKind.SAFEGUARD_TRIGGERED, safeguard="model")
     assert "safeguard_triggered" in str(event)
     assert "agent-x" in str(event)
+
+
+def _advance(kernel, until):
+    kernel.run(until=until)
+
+
+def test_first_fallback_tracks_default_and_none_actions():
+    kernel = Kernel()
+    for mode in ("full", "counts"):
+        log = EventLog(kernel, agent="a", mode=mode)
+        log.record(EventKind.ACTUATION, has_prediction=True, is_default=False)
+        assert log.first_fallback_us() is None
+        log.record(EventKind.ACTUATION, has_prediction=True, is_default=True)
+        assert log.first_fallback_us() == kernel.now
+        assert log.action_histogram() == {"model": 1, "default": 1, "none": 0}
+
+
+def test_fallback_watch_ignores_warmup_fallbacks():
+    """Time-to-fallback anchors at the watch point, not the first ever.
+
+    Regression test: a node whose agent fell back during warmup (before
+    the fault onset) must still report its first *post-onset* fallback.
+    """
+    kernel = Kernel()
+    log = EventLog(kernel, agent="a", mode="counts")
+    log.watch_fallback_from(5 * SEC)
+    # Warmup fallback at t=0: recorded globally, ignored by the watch.
+    log.record(EventKind.ACTUATION, has_prediction=False)
+    assert log.first_fallback_us() == 0
+    assert log.first_watched_fallback_us() is None
+    _advance(kernel, 6 * SEC)
+    log.record(EventKind.ACTUATION, has_prediction=True, is_default=True)
+    assert log.first_watched_fallback_us() == 6 * SEC
+    # Later fallbacks don't move the anchor.
+    _advance(kernel, 7 * SEC)
+    log.record(EventKind.ACTUATION, has_prediction=False)
+    assert log.first_watched_fallback_us() == 6 * SEC
+
+
+def test_safeguard_first_trigger_since_skips_warmup_windows():
+    from repro.core.safeguards import SafeguardState
+
+    kernel = Kernel()
+    guard = SafeguardState(kernel, "g")
+    guard.trigger()  # warmup trip at t=0
+    guard.clear()
+    assert guard.first_triggered_at_us == 0
+    assert guard.first_triggered_at_us_since(1) is None
+    kernel.run(until=4 * SEC)
+    guard.trigger()  # post-onset trip, still open
+    assert guard.first_triggered_at_us_since(1) == 4 * SEC
+    assert guard.first_triggered_at_us_since(5 * SEC) is None
+    guard.clear()
+    assert guard.first_triggered_at_us_since(1) == 4 * SEC

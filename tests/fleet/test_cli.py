@@ -66,3 +66,43 @@ def test_experiments_markdown_rendering():
     assert "## table1" in text
     assert "| class |" in text
     assert "--quick" in text
+
+
+def test_reproduce_all_rejects_unknown_only_artifact():
+    with pytest.raises(SystemExit):
+        main(["reproduce-all", "--only", "fig99"])
+
+
+def test_reproduce_all_rejects_bad_granularity():
+    with pytest.raises(SystemExit):
+        main(["reproduce-all", "--granularity", "bogus"])
+
+
+def test_reproduce_all_rejects_mixed_known_and_unknown_only():
+    with pytest.raises(SystemExit):
+        main(["reproduce-all", "--only", "table1", "fig99"])
+
+
+def test_fleet_fault_kind_flags_reach_the_simulation(capsys):
+    digests = {}
+    for kind in ("bad_data", "dropout", "crash_restart"):
+        assert main(
+            ["fleet", "--nodes", "2", "--seconds", "15", "--rack-size", "1",
+             "--fault-racks", "0", "--fault-start", "2",
+             "--fault-duration", "8", "--fault-probability", "1.0",
+             "--fault-kind", kind]
+        ) == 0
+        out = capsys.readouterr().out
+        digests[kind] = [
+            l for l in out.splitlines() if l.startswith("digest:")
+        ]
+        assert digests[kind]
+    # The flag must actually reach the simulation: each kind injects a
+    # different failure, so the three digests cannot coincide.
+    assert len({tuple(d) for d in digests.values()}) == 3
+
+
+def test_fleet_rejects_unknown_fault_kind():
+    with pytest.raises(SystemExit):
+        main(["fleet", "--nodes", "2", "--fault-racks", "0",
+              "--fault-kind", "meteor"])

@@ -63,3 +63,64 @@ def test_bad_usage_injector_probability_zero_is_identity():
     inject = bad_usage_injector(rng, probability=0.0)
     samples = np.ones(5)
     assert np.array_equal(inject(samples), samples)
+
+
+def test_stale_read_injector_serves_last_genuine_value():
+    from repro.node.faults import StaleReadInjector
+
+    rng = np.random.default_rng(1)
+    inject = StaleReadInjector(rng, probability=1.0)
+    first = np.array([1.0, 2.0])
+    assert inject(first) is first  # nothing stale to serve yet
+    second = np.array([3.0, 4.0])
+    served = inject(second)
+    assert np.array_equal(served, first)
+    assert inject.stale_reads == 1
+    # The stale snapshot is a defensive copy: mutating the original
+    # buffer (reuse on the hot path) cannot corrupt later stale reads.
+    first[:] = -1.0
+    assert np.array_equal(inject(second), np.array([1.0, 2.0]))
+
+
+def test_stale_read_injector_probability_zero_is_identity():
+    from repro.node.faults import StaleReadInjector
+
+    inject = StaleReadInjector(np.random.default_rng(0), probability=0.0)
+    a, b = object(), object()
+    assert inject(a) is a
+    assert inject(b) is b
+    assert inject.stale_reads == 0
+
+
+def test_stale_read_injector_validates_probability():
+    from repro.node.faults import StaleReadInjector
+
+    with pytest.raises(ValueError):
+        StaleReadInjector(np.random.default_rng(0), probability=1.5)
+
+
+def test_dropped_batch_injector_errors_whole_batches():
+    from repro.node.faults import dropped_batch_injector
+    from repro.node.memory import ScanResult
+
+    batch = [
+        ScanResult(region=i, set_bits=5, pages=16, elapsed_us=100,
+                   saturated=False, error=False)
+        for i in range(3)
+    ]
+    inject = dropped_batch_injector(np.random.default_rng(0), 1.0)
+    dropped = inject(batch)
+    assert all(result.error for result in dropped)
+    assert [r.region for r in dropped] == [0, 1, 2]
+    assert not any(result.error for result in batch)  # originals untouched
+    assert inject([]) == []  # empty batches pass through
+
+
+def test_dropped_batch_injector_probability_zero_is_identity():
+    from repro.node.faults import dropped_batch_injector
+    from repro.node.memory import ScanResult
+
+    batch = [ScanResult(region=0, set_bits=1, pages=16, elapsed_us=1,
+                        saturated=False, error=False)]
+    inject = dropped_batch_injector(np.random.default_rng(0), 0.0)
+    assert inject(batch) == batch

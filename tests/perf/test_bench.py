@@ -6,7 +6,14 @@ import pytest
 
 import repro.perf.legacy as legacy_impl
 import repro.sim as live_impl
-from repro.perf import build_report, compare_reports, render_report, write_report
+from repro.perf import (
+    build_report,
+    compare_reports,
+    compare_warnings,
+    merge_suite_reports,
+    render_report,
+    write_report,
+)
 from repro.perf.microbench import MICROBENCHMARKS, run_microbench
 
 #: Tiny scale so the whole module runs in well under a second.
@@ -86,13 +93,26 @@ def test_compare_reports_passes_within_tolerance():
     assert compare_reports(new, baseline, max_regression=0.25) == []
 
 
-def test_compare_reports_flags_regression_and_missing():
+def test_compare_reports_flags_regression_but_warns_on_missing():
     baseline = _fake_report({"a": 4.0, "b": 2.0})
-    new = _fake_report({"a": 2.9})  # -27.5% and 'b' missing
+    new = _fake_report({"a": 2.9})  # -27.5%, and 'b' only in baseline
     problems = compare_reports(new, baseline, max_regression=0.25)
-    assert len(problems) == 2
-    assert any("regressed" in p for p in problems)
-    assert any("missing" in p for p in problems)
+    # Only the genuine regression gates; the one-sided benchmark is a
+    # warning, not a failure.
+    assert len(problems) == 1
+    assert "regressed" in problems[0]
+    warnings = compare_warnings(new, baseline)
+    assert any("only in the baseline" in w and "b" in w for w in warnings)
+
+
+def test_compare_warnings_cover_both_sides_and_suite_mismatch():
+    baseline = dict(_fake_report({"a": 1.0, "b": 2.0}), suite="kernel")
+    new = dict(_fake_report({"a": 1.0, "c": 3.0}), suite="ml")
+    warnings = compare_warnings(new, baseline)
+    assert any("different suites" in w for w in warnings)
+    assert any("only in the baseline" in w for w in warnings)
+    assert any("only in the new" in w for w in warnings)
+    assert compare_warnings(baseline, baseline) == []
 
 
 def test_compare_reports_flags_digest_mismatch():
@@ -100,3 +120,35 @@ def test_compare_reports_flags_digest_mismatch():
     new = _fake_report({"a": 1.0}, digest_ok=False)
     problems = compare_reports(new, baseline)
     assert any("digest" in p for p in problems)
+
+
+def test_merge_suite_reports_namespaces_and_gates():
+    merged = merge_suite_reports(
+        {
+            "kernel": {
+                "microbench": {
+                    "a": {"speedup": 4.0}, "geomean_speedup": 4.0,
+                },
+                "end_to_end": {"fleet": {"digest_ok": True}},
+            },
+            "ml": {
+                "microbench": {
+                    "b": {"speedup": 1.0}, "geomean_speedup": 1.0,
+                },
+            },
+        }
+    )
+    assert merged["suite"] == "all"
+    assert set(merged["microbench"]) == {
+        "kernel/a", "ml/b", "geomean_speedup",
+    }
+    assert merged["microbench"]["geomean_speedup"] == 2.0  # sqrt(4*1)
+    assert merged["suites"]["kernel"]["geomean_speedup"] == 4.0
+    assert merged["end_to_end"] == {"kernel/fleet": {"digest_ok": True}}
+    # The merged report is a valid compare_reports input.
+    assert compare_reports(merged, merged) == []
+    regressed = json.loads(json.dumps(merged))
+    regressed["microbench"]["kernel/a"]["speedup"] = 1.0
+    assert any(
+        "kernel/a" in p for p in compare_reports(regressed, merged)
+    )

@@ -130,3 +130,34 @@ def test_none_is_a_valid_message_distinct_from_timeout():
     kernel.run()
     assert results == [(0, None)]
     assert results[0][1] is not QUEUE_TIMEOUT
+
+
+def test_killed_waiter_does_not_swallow_later_puts():
+    """A consumer killed mid-get must deregister its waiter.
+
+    Regression test for the crash-restart fault: without the kill-path
+    cleanup in ``SimQueue.get`` the dead consumer's event stays in the
+    getter list, and the first ``put`` after a replacement consumer
+    arrives succeeds the dead event — the item vanishes.
+    """
+    kernel = Kernel()
+    queue = SimQueue(kernel, capacity=1)
+    got = []
+
+    def consumer(tag):
+        item = yield from queue.get(timeout_us=50 * MS)
+        got.append((tag, item))
+
+    old = kernel.spawn(consumer("old"), name="old")
+
+    def script():
+        yield 1 * MS
+        old.kill()
+        kernel.spawn(consumer("new"), name="new")
+        yield 1 * MS
+        queue.put("fresh")
+
+    kernel.spawn(script(), name="script")
+    kernel.run(until=10 * MS)
+    assert got == [("new", "fresh")]
+    assert len(queue._getters) == 0

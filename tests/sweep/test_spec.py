@@ -1,0 +1,183 @@
+"""Campaign specs: validation, loaders, deterministic expansion."""
+
+import pytest
+
+from repro.sweep import CampaignSpec, FaultAxis, loads_toml
+from repro.sweep.spec import _parse_minimal_toml
+
+SMOKE_TOML = """
+# a comment
+name = "demo"            # trailing comment
+agents = ["overclock", "harvest"]
+scales = [2, 4]
+seeds = [0, 1]
+duration_s = 30
+rack_size = 2
+
+[[fault]]
+kind = "bad_data"
+intensities = [0.5, 0.9]
+start_s = 5
+duration_s = 10
+racks = [0]
+
+[[fault]]
+kind = "crash_restart"
+intensities = [1.0]
+start_s = 5
+duration_s = 10
+racks = [0]
+"""
+
+
+def _spec(**overrides):
+    defaults = dict(
+        name="t",
+        agents=("overclock",),
+        scales=(2,),
+        seeds=(0,),
+        duration_s=30,
+        rack_size=2,
+        faults=(),
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+# -- validation --------------------------------------------------------------
+
+
+def test_spec_rejects_unknown_agent():
+    with pytest.raises(ValueError, match="agent"):
+        _spec(agents=("toaster",))
+
+
+def test_spec_rejects_bad_scales_and_seeds():
+    with pytest.raises(ValueError):
+        _spec(scales=(0,))
+    with pytest.raises(ValueError):
+        _spec(scales=())
+    with pytest.raises(ValueError):
+        _spec(seeds=())
+
+
+def test_spec_rejects_fault_window_past_duration():
+    axis = FaultAxis(kind="bad_data", intensities=(0.5,), start_s=30,
+                     duration_s=10)
+    with pytest.raises(ValueError, match="starts at"):
+        _spec(duration_s=30, faults=(axis,))
+
+
+def test_spec_rejects_racks_outside_smallest_scale():
+    axis = FaultAxis(kind="bad_data", intensities=(0.5,), start_s=5,
+                     duration_s=10, racks=(3,))
+    with pytest.raises(ValueError, match="racks"):
+        _spec(scales=(2, 16), rack_size=2, faults=(axis,))
+
+
+def test_fault_axis_validation():
+    with pytest.raises(ValueError, match="kind"):
+        FaultAxis(kind="meteor", intensities=(0.5,))
+    with pytest.raises(ValueError, match="intensities"):
+        FaultAxis(kind="bad_data", intensities=())
+    with pytest.raises(ValueError, match="baseline"):
+        FaultAxis(kind="bad_data", intensities=(0.0,))
+    with pytest.raises(ValueError):
+        FaultAxis(kind="bad_data", intensities=(1.5,))
+
+
+# -- expansion ---------------------------------------------------------------
+
+
+def test_expand_emits_one_baseline_per_combination_plus_cells():
+    spec = loads_toml(SMOKE_TOML)
+    units = spec.expand()
+    # 2 agents × 2 scales × 2 seeds × (1 baseline + 2 + 1 faulted cells)
+    assert len(units) == 2 * 2 * 2 * 4
+    baselines = [u for u in units if u.is_baseline]
+    assert len(baselines) == 8
+    assert len({u.unit_id() for u in units}) == len(units)
+
+
+def test_expand_order_is_deterministic_and_canonical():
+    spec = loads_toml(SMOKE_TOML)
+    first = [u.unit_id() for u in spec.expand()]
+    second = [u.unit_id() for u in spec.expand()]
+    assert first == second
+    assert first == sorted(
+        first,
+        key=lambda i: [u.sort_key() for u in spec.expand()
+                       if u.unit_id() == i][0],
+    )
+
+
+# -- loaders -----------------------------------------------------------------
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown campaign keys"):
+        CampaignSpec.from_dict(
+            {"name": "x", "agents": ["overclock"], "scales": [2],
+             "surprise": 1}
+        )
+
+
+def test_from_dict_rejects_unknown_fault_keys_and_missing_fields():
+    base = {"name": "x", "agents": ["overclock"], "scales": [2]}
+    with pytest.raises(ValueError, match="unknown fault keys"):
+        CampaignSpec.from_dict(
+            {**base, "fault": [{"kind": "bad_data", "intensities": [0.5],
+                                "color": "red"}]}
+        )
+    with pytest.raises(ValueError, match="needs 'kind'"):
+        CampaignSpec.from_dict({**base, "fault": [{"intensities": [0.5]}]})
+    with pytest.raises(ValueError, match="missing key"):
+        CampaignSpec.from_dict({"name": "x", "agents": ["overclock"]})
+
+
+def test_from_dict_rejects_scalar_where_array_expected():
+    with pytest.raises(ValueError, match="must be an array"):
+        CampaignSpec.from_dict(
+            {"name": "x", "agents": "overclock", "scales": [2]}
+        )
+
+
+def test_loads_toml_round_trip():
+    spec = loads_toml(SMOKE_TOML)
+    assert spec.name == "demo"
+    assert spec.agents == ("overclock", "harvest")
+    assert spec.scales == (2, 4)
+    assert spec.seeds == (0, 1)
+    assert len(spec.faults) == 2
+    assert spec.faults[0].intensities == (0.5, 0.9)
+    assert spec.faults[1].kind == "crash_restart"
+
+
+# -- the 3.10 fallback parser ------------------------------------------------
+
+
+def test_minimal_toml_parser_matches_tomllib_on_campaign_subset():
+    data = _parse_minimal_toml(SMOKE_TOML)
+    try:
+        import tomllib
+    except ImportError:
+        tomllib = None
+    if tomllib is not None:
+        assert data == tomllib.loads(SMOKE_TOML)
+    assert data["name"] == "demo"
+    assert data["scales"] == [2, 4]
+    assert data["fault"][0]["intensities"] == [0.5, 0.9]
+    assert data["fault"][1]["kind"] == "crash_restart"
+
+
+def test_minimal_toml_parser_values_and_errors():
+    assert _parse_minimal_toml('x = true\ny = "a#b"\nz = 1.5') == {
+        "x": True, "y": "a#b", "z": 1.5,
+    }
+    assert _parse_minimal_toml("empty = []") == {"empty": []}
+    with pytest.raises(ValueError, match="key = value"):
+        _parse_minimal_toml("just a line")
+    with pytest.raises(ValueError, match="cannot parse"):
+        _parse_minimal_toml("x = {nested = 1}")
+    with pytest.raises(ValueError, match="subset"):
+        _parse_minimal_toml("[table]")
