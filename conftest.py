@@ -7,6 +7,22 @@ environments without build tooling (e.g. offline CI images).
 import sys
 from pathlib import Path
 
+import pytest
+
 _SRC = str(Path(__file__).resolve().parent / "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_repro_cache(monkeypatch, tmp_path):
+    """Point the result cache at a per-test directory.
+
+    ``default_cache_dir()`` falls back to ``./.repro-cache`` in the
+    working directory, so any test exercising a cache-enabled code path
+    without an explicit ``--cache-dir`` would otherwise pollute the
+    repo checkout (and leak state between tests).  Tests that probe the
+    environment handling itself still can ``setenv``/``delenv`` over
+    this.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

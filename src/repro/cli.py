@@ -43,6 +43,7 @@ import time
 from typing import List, Optional
 
 from repro.cache import ResultCache, default_cache_dir
+from repro.conformance.cli import add_conformance_parser, cmd_conformance
 from repro.experiments.common import experiment_digest
 from repro.experiments.driver import (
     ARTIFACTS,
@@ -194,6 +195,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "directory", nargs="?", default="examples/campaigns",
         help="directory to scan for .toml specs (default: %(default)s)",
     )
+
+    add_conformance_parser(sub)
 
     bench = sub.add_parser(
         "bench",
@@ -517,6 +520,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_reproduce_all(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "conformance":
+            return cmd_conformance(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except ValueError as error:

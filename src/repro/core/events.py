@@ -29,14 +29,23 @@ unaffected by the mode — the determinism tests pin this.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional, Union
 
 from repro.sim.kernel import Kernel
 
-__all__ = ["EventKind", "RuntimeEvent", "EventLog"]
+__all__ = [
+    "EventKind",
+    "RuntimeEvent",
+    "EventLog",
+    "canonical_scalar",
+    "encode_event",
+    "decode_event",
+]
 
 
 class EventKind(enum.Enum):
@@ -83,6 +92,105 @@ class RuntimeEvent:
 RING_SIZE = 64
 
 
+# -- canonical per-event encoding (conformance; DESIGN.md §10) --------------
+
+def canonical_scalar(value: Any) -> str:
+    """Type-canonical string form of one result scalar.
+
+    The single canonicalization every content digest in the repo uses:
+    bools, ``None``, and strings by ``str``; everything numeric through
+    ``repr(float(...))`` (exact — two floats canonicalize equally iff
+    they are the same float); anything else by ``str``.  The experiment
+    digests (:func:`repro.experiments.common.experiment_digest`) and the
+    conformance terminal-state snapshots share this function, which is
+    what keeps known-answer vectors digest-compatible with the pinned
+    golden artifacts.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return str(value)
+    try:
+        return repr(float(value))
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def _canonical_detail(value: Any) -> Any:
+    """JSON-ready canonical form of one event-detail value.
+
+    Scalars keep their JSON type (int vs float vs bool vs str stays
+    distinguishable, so the encoding is injective on distinct details);
+    numpy scalars collapse to the Python scalar they wrap; enums to
+    their ``value``; tuples to lists; numpy arrays to nested lists;
+    dataclasses (e.g. a ``MemoryPlan`` prediction value) to their field
+    dict; anything else non-JSON to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, enum.Enum):
+        return _canonical_detail(value.value)
+    if isinstance(value, dict):
+        return {str(k): _canonical_detail(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_detail(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical_detail(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy array (full contents, never truncated)
+        try:
+            return _canonical_detail(tolist())
+        except (TypeError, ValueError):
+            pass
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        try:
+            return _canonical_detail(item())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+def encode_event(
+    time_us: int,
+    kind: Union[EventKind, str],
+    agent: str,
+    details: Optional[Dict[str, Any]] = None,
+) -> bytes:
+    """Stable canonical byte encoding of one trace event.
+
+    Compact JSON with sorted keys — independent of detail-dict insertion
+    order, injective on distinct events (JSON preserves scalar types,
+    floats serialize via ``repr``), and identical across processes and
+    Python versions in use here.  ``kind`` accepts an :class:`EventKind`
+    (runtime events) or a plain string (scripted conformance scenarios
+    emit ad-hoc kinds like ``"queue.got"``).
+    """
+    payload = {
+        "t": int(time_us),
+        "k": kind.value if isinstance(kind, EventKind) else str(kind),
+        "a": str(agent),
+        "d": _canonical_detail(details or {}),
+    }
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_event(payload: bytes) -> Dict[str, Any]:
+    """Decode :func:`encode_event` output for human-facing reports."""
+    raw = json.loads(payload.decode("utf-8"))
+    return {
+        "time_us": raw["t"],
+        "kind": raw["k"],
+        "agent": raw["a"],
+        "details": raw["d"],
+    }
+
+
 class EventLog:
     """Runtime telemetry sink with query helpers for tests and experiments.
 
@@ -111,8 +219,20 @@ class EventLog:
         self._first_fallback_us: Optional[int] = None
         self._fallback_watch_from: Optional[int] = None
         self._first_watched_fallback_us: Optional[int] = None
+        self._tracer: Optional[Any] = None
         if mode == "counts":
             self._ring = deque(maxlen=RING_SIZE)
+
+    def attach_tracer(self, sink: Any) -> None:
+        """Forward every recorded event to ``sink`` (conformance traces).
+
+        ``sink`` needs an ``on_event(time_us, payload: bytes)`` method
+        (:mod:`repro.sim.trace`); payloads are the canonical
+        :func:`encode_event` bytes.  Works in both log modes — tracing
+        is orthogonal to retention.  One tracer at a time; ``None``
+        detaches.
+        """
+        self._tracer = sink
 
     def record(self, kind: EventKind, **details: Any) -> Optional[RuntimeEvent]:
         """Record an occurrence stamped with the current simulation time.
@@ -142,6 +262,11 @@ class EventLog:
                     self._first_watched_fallback_us = now
         elif kind is EventKind.PREDICTION_SENT and details.get("is_default"):
             self._default_sent += 1
+        if self._tracer is not None:
+            now = self.kernel.now
+            self._tracer.on_event(
+                now, encode_event(now, kind, self.agent, details)
+            )
         if self._ring is not None:
             self._ring.append((self.kernel.now, kind, details))
             return None

@@ -211,6 +211,10 @@ class SolRuntime:
                     EventKind.PREDICTION_SENT,
                     is_default=prediction.is_default,
                     expires_at_us=prediction.expires_at_us,
+                    # The predicted value rides along so conformance
+                    # traces pin *what* was predicted, not just when —
+                    # an off-by-one RNG draw must change the payload.
+                    value=prediction.value,
                 )
 
     def _collect_phase(self, epoch_start: int):

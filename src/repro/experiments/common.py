@@ -18,6 +18,7 @@ import numpy as np
 from repro.agents.harvest import SmartHarvestAgent
 from repro.agents.memory import SmartMemoryAgent
 from repro.agents.overclock import SmartOverclockAgent
+from repro.core.events import canonical_scalar
 from repro.core.safeguards import SafeguardPolicy
 from repro.node.cpu import CpuModel
 from repro.node.hypervisor import Hypervisor
@@ -97,13 +98,10 @@ class ExperimentResult:
         return str(value)
 
 
-def _canonical_cell(value: Any) -> str:
-    if isinstance(value, bool) or value is None or isinstance(value, str):
-        return str(value)
-    try:
-        return repr(float(value))
-    except (TypeError, ValueError):
-        return str(value)
+# One canonicalization for every content digest in the repo: the
+# conformance known-answer vectors reuse it for terminal-state
+# snapshots, so the shared definition lives with the event encoding.
+_canonical_cell = canonical_scalar
 
 
 def experiment_digest(result: "ExperimentResult") -> str:

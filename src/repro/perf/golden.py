@@ -1,0 +1,54 @@
+"""Golden-model implementation namespaces, one registry for all users.
+
+The frozen pre-optimization copies (:mod:`repro.perf.legacy`,
+:mod:`repro.perf.legacy_ml`, :mod:`repro.perf.legacy_workloads`) are
+*reference implementations*: trusted-but-slow baselines every optimized
+path must reproduce bit-exactly.  Three consumers need the same
+live/frozen pairing —
+
+* the ``repro bench`` harness (speedup ratios, optimized vs frozen),
+* the lockstep bit-identity tests,
+* the conformance subsystem's differential replay runner
+  (:mod:`repro.conformance`), which registers each namespace as a
+  :class:`~repro.conformance.registry.ReferenceImpl`
+
+— so the pairing is defined exactly once, here.  Each namespace exposes
+the same API surface as its counterpart (the microbench modules document
+the contracts); a future second kernel backend (ROADMAP item 1, the SoA
+mega-fleet backend) joins by adding itself to :data:`KERNEL_IMPLS` and
+is immediately benchable *and* conformance-checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import repro.perf.legacy as _legacy_kernel
+import repro.perf.legacy_ml as _legacy_ml
+import repro.perf.legacy_workloads as _legacy_workloads
+import repro.sim as _live_kernel
+from repro.perf.microbench_ml import LIVE_ML
+from repro.perf.microbench_workloads import LIVE_WORKLOADS
+
+__all__ = ["KERNEL_IMPLS", "ML_IMPLS", "WORKLOADS_IMPLS"]
+
+#: Kernel implementations: ``Kernel``, ``SimQueue``, ``QUEUE_TIMEOUT``.
+KERNEL_IMPLS: Dict[str, Any] = {
+    "current": _live_kernel,
+    "seed": _legacy_kernel,
+}
+
+#: ML epoch implementations: ``CostSensitiveClassifier``,
+#: ``distributional_features``, ``Hypervisor``.
+ML_IMPLS: Dict[str, Any] = {
+    "current": LIVE_ML,
+    "seed": _legacy_ml,
+}
+
+#: Workload/substrate implementations: ``CpuModel``, ``Hypervisor``,
+#: ``TieredMemory``, ``TailBenchWorkload``, ``ObjectStoreWorkload``,
+#: ``DiskSpeedWorkload``, ``ZipfMemoryTrace``.
+WORKLOADS_IMPLS: Dict[str, Any] = {
+    "current": LIVE_WORKLOADS,
+    "seed": _legacy_workloads,
+}

@@ -37,22 +37,16 @@ import math
 import time
 from typing import Any, Callable, Dict, List
 
-import repro.perf.legacy as legacy_impl
-import repro.sim as live_impl
 from repro.perf.baselines import (
     GOLDEN_EXPERIMENT_DIGESTS,
     GOLDEN_EXPERIMENT_SCALE,
     GOLDEN_FLEET_DIGESTS,
     SEED_E2E_WALL_S,
 )
+from repro.perf.golden import KERNEL_IMPLS, ML_IMPLS, WORKLOADS_IMPLS
 from repro.perf.microbench import MICROBENCHMARKS, run_microbench
-from repro.perf.microbench_ml import (
-    LIVE_ML,
-    ML_MICROBENCHMARKS,
-    run_ml_microbench,
-)
+from repro.perf.microbench_ml import ML_MICROBENCHMARKS, run_ml_microbench
 from repro.perf.microbench_workloads import (
-    LIVE_WORKLOADS,
     WORKLOADS_MICROBENCHMARKS,
     run_workloads_microbench,
 )
@@ -141,7 +135,8 @@ def run_microbenchmarks(
 ) -> Dict[str, Any]:
     """Kernel scenarios, optimized vs the frozen seed kernel."""
     return _run_suite(
-        MICROBENCHMARKS, run_microbench, live_impl, legacy_impl,
+        MICROBENCHMARKS, run_microbench,
+        KERNEL_IMPLS["current"], KERNEL_IMPLS["seed"],
         scale, repeats,
     )
 
@@ -150,10 +145,9 @@ def run_ml_microbenchmarks(
     scale: float = 1.0, repeats: int = 3
 ) -> Dict[str, Any]:
     """ML epoch scenarios, vectorized vs the frozen per-class path."""
-    import repro.perf.legacy_ml as legacy_ml_impl
-
     return _run_suite(
-        ML_MICROBENCHMARKS, run_ml_microbench, LIVE_ML, legacy_ml_impl,
+        ML_MICROBENCHMARKS, run_ml_microbench,
+        ML_IMPLS["current"], ML_IMPLS["seed"],
         scale, repeats,
     )
 
@@ -162,11 +156,10 @@ def run_workloads_microbenchmarks(
     scale: float = 1.0, repeats: int = 3
 ) -> Dict[str, Any]:
     """Workload/substrate loops, vectorized vs the frozen seed path."""
-    import repro.perf.legacy_workloads as legacy_workloads_impl
-
     return _run_suite(
         WORKLOADS_MICROBENCHMARKS, run_workloads_microbench,
-        LIVE_WORKLOADS, legacy_workloads_impl, scale, repeats,
+        WORKLOADS_IMPLS["current"], WORKLOADS_IMPLS["seed"],
+        scale, repeats,
     )
 
 

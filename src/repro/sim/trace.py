@@ -1,0 +1,112 @@
+"""Checkpointable event-trace sinks for conformance checking.
+
+The conformance subsystem (DESIGN.md §10) observes a run as an ordered
+stream of canonically-encoded event payloads (``bytes``; see
+:func:`repro.core.events.encode_event`).  A *sink* is anything with an
+``on_event(time_us, payload)`` method; :class:`~repro.core.events.EventLog`
+forwards every recorded runtime event to an attached sink, and the
+scripted conformance scenarios feed sinks directly.
+
+Two sinks cover both halves of the check-then-debug workflow:
+
+* :class:`CheckpointDigester` — a rolling sha256 over the stream with a
+  digest *checkpoint* emitted every ``cadence`` events.  Recording a
+  known-answer vector and checking one both use it; comparing two runs'
+  checkpoint lists localizes a divergence to one ``cadence``-sized
+  window without retaining any event payloads.
+* :class:`WindowRecorder` — retains the raw payloads of one index
+  window so the bisector can pinpoint the exact first diverging event
+  inside a window the digests flagged.
+
+Payloads are length-prefixed before hashing so the digest is injective
+over event *boundaries* (``b"ab" + b"c"`` and ``b"a" + b"bc"`` hash
+differently).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["Checkpoint", "CheckpointDigester", "WindowRecorder"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """The trace digest after ``index`` events (the last at ``time_us``)."""
+
+    index: int
+    time_us: int
+    digest: str
+
+    def as_list(self) -> List:
+        """JSON-friendly ``[index, time_us, digest]`` form (KAV files)."""
+        return [self.index, self.time_us, self.digest]
+
+
+def _fold(hasher, payload: bytes) -> None:
+    hasher.update(len(payload).to_bytes(4, "big"))
+    hasher.update(payload)
+
+
+class CheckpointDigester:
+    """Rolling trace digest with a checkpoint every ``cadence`` events.
+
+    Checkpoint ``k`` covers events ``[0, (k + 1) * cadence)`` — each
+    digest is cumulative from the start of the run, so two runs whose
+    checkpoint ``k`` digests agree are bit-identical through that point.
+    """
+
+    def __init__(self, cadence: int = 1000) -> None:
+        if cadence < 1:
+            raise ValueError(f"cadence must be >= 1, got {cadence}")
+        self.cadence = cadence
+        self.n_events = 0
+        self.checkpoints: List[Checkpoint] = []
+        self._hash = hashlib.sha256()
+        self._last_time_us = 0
+
+    def on_event(self, time_us: int, payload: bytes) -> None:
+        _fold(self._hash, payload)
+        self.n_events += 1
+        self._last_time_us = time_us
+        if self.n_events % self.cadence == 0:
+            self.checkpoints.append(
+                Checkpoint(self.n_events, time_us, self._hash.hexdigest())
+            )
+
+    def terminal(self) -> Checkpoint:
+        """The digest over the whole stream (whatever its length)."""
+        return Checkpoint(
+            self.n_events, self._last_time_us, self._hash.hexdigest()
+        )
+
+
+class WindowRecorder:
+    """Retain raw payloads for event indices in ``[start, stop)``.
+
+    ``stop=None`` records to the end of the run.  Events outside the
+    window cost one integer compare each — re-running a scenario with a
+    narrow window is how the differential runner captures just the
+    divergent stretch the checkpoints identified.
+    """
+
+    def __init__(self, start: int = 0, stop: Optional[int] = None) -> None:
+        if start < 0 or (stop is not None and stop < start):
+            raise ValueError(f"bad window [{start}, {stop})")
+        self.start = start
+        self.stop = stop
+        self.n_events = 0
+        #: ``(global_index, time_us, payload)`` per in-window event.
+        self.events: List[Tuple[int, int, bytes]] = []
+
+    def on_event(self, time_us: int, payload: bytes) -> None:
+        index = self.n_events
+        self.n_events += 1
+        if index >= self.start and (self.stop is None or index < self.stop):
+            self.events.append((index, time_us, payload))
+
+    def payloads(self) -> List[bytes]:
+        """Just the in-window payloads, in stream order."""
+        return [payload for _index, _time, payload in self.events]

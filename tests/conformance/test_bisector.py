@@ -1,0 +1,168 @@
+"""The bisector must localize the exact first diverging event.
+
+Unit tests pin the binary search itself; the integration tests inject a
+single deliberate perturbation into a live implementation — an
+off-by-one RNG draw in the agent stack, a corrupted queue item in the
+kernel script — and assert the differential runner reports exactly the
+index a full-capture linear scan finds.
+"""
+
+import types
+
+import pytest
+
+import repro.sim as live_kernel
+from repro.conformance import registry
+from repro.conformance.bisector import first_divergence, prefix_digests
+from repro.conformance.runner import run_differential
+from repro.conformance.scenarios import (
+    ReferenceImpl,
+    make_scripted_impl,
+    run_agent_node,
+)
+from repro.sim.trace import WindowRecorder
+
+
+# -- unit: first_divergence ---------------------------------------------------
+
+
+def test_identical_streams_have_no_divergence():
+    stream = [b"a", b"bb", b"ccc"]
+    assert first_divergence(stream, list(stream)) is None
+    assert first_divergence([], []) is None
+
+
+@pytest.mark.parametrize("index", range(5))
+def test_single_payload_difference_is_found_at_every_index(index):
+    a = [b"x%d" % i for i in range(5)]
+    b = list(a)
+    b[index] = b"DIFF"
+    assert first_divergence(a, b) == index
+
+
+def test_strict_prefix_diverges_at_the_shorter_length():
+    a = [b"a", b"b", b"c"]
+    assert first_divergence(a, a[:2]) == 2
+    assert first_divergence(a[:2], a) == 2
+    assert first_divergence([], a) == 0
+
+
+def test_divergence_then_reagreement_still_reports_the_first():
+    a = [b"a", b"b", b"c", b"d"]
+    b = [b"a", b"X", b"c", b"d"]  # re-agrees after index 1
+    assert first_divergence(a, b) == 1
+
+
+def test_boundary_shift_is_a_divergence():
+    # Same concatenation, different event boundaries — the length
+    # prefix in the digest must tell them apart.
+    assert first_divergence([b"ab", b"c"], [b"a", b"bc"]) == 0
+
+
+def test_prefix_digests_are_cumulative():
+    digests = prefix_digests([b"a", b"b"])
+    assert len(digests) == 3
+    assert digests[0] == prefix_digests([])[0]
+    assert digests[1] == prefix_digests([b"a"])[1]
+
+
+def _linear_scan_first_divergence(a, b):
+    for i in range(min(len(a), len(b))):
+        if a[i] != b[i]:
+            return i
+    return None if len(a) == len(b) else min(len(a), len(b))
+
+
+# -- integration: perturbed implementations -----------------------------------
+
+
+def _capture_full(impl_name, scenario_name):
+    from repro.conformance.scenarios import get_scenario
+
+    recorder = WindowRecorder(0, None)
+    registry.get(impl_name).run(get_scenario(scenario_name), recorder)
+    return recorder.payloads()
+
+
+@pytest.fixture
+def perturbed_agent():
+    """``agent:current`` plus one extra draw from the agent RNG stream."""
+
+    def run(spec, sink):
+        return run_agent_node(
+            spec,
+            sink,
+            prepare=lambda node: node.streams.get("agent").random(),
+        )
+
+    registry.register(ReferenceImpl(
+        name="agent:test-perturbed",
+        family="agent",
+        description="agent stack with one burned agent-RNG draw",
+        run=run,
+    ))
+    yield "agent:test-perturbed"
+    registry.unregister("agent:test-perturbed")
+
+
+def test_off_by_one_rng_draw_is_localized_to_first_event(perturbed_agent):
+    scenario = "agent-overclock-objectstore-s7"
+    truth = _linear_scan_first_divergence(
+        _capture_full("agent:current", scenario),
+        _capture_full(perturbed_agent, scenario),
+    )
+    assert truth is not None  # the perturbation must actually diverge
+
+    report = run_differential("agent:current", perturbed_agent, scenario)
+    assert not report.equivalent
+    assert report.first_diverging_index == truth
+    assert report.event_a is not None and report.event_b is not None
+    assert report.event_a != report.event_b
+    # The report names the responsible agent and sim-time on both sides.
+    for event in (report.event_a, report.event_b):
+        assert {"time_us", "kind", "agent", "details"} <= set(event)
+
+
+@pytest.fixture
+def corrupted_kernel():
+    """``kernel:current`` whose 37th queue put delivers a corrupted item."""
+
+    def factory():
+        puts = [0]
+
+        class CorruptedQueue(live_kernel.SimQueue):
+            def put(self, item):
+                puts[0] += 1
+                if puts[0] == 37:
+                    item = (item[0], item[1] + 1_000_000)
+                return super().put(item)
+
+        return types.SimpleNamespace(
+            Kernel=live_kernel.Kernel,
+            SimQueue=CorruptedQueue,
+            QUEUE_TIMEOUT=live_kernel.QUEUE_TIMEOUT,
+        )
+
+    registry.register(make_scripted_impl(
+        "kernel:test-corrupted", "kernel", factory,
+        "live kernel with one corrupted queue item",
+    ))
+    yield "kernel:test-corrupted"
+    registry.unregister("kernel:test-corrupted")
+
+
+def test_corrupted_queue_item_is_localized(corrupted_kernel):
+    scenario = "kernel-churn-s3"
+    truth = _linear_scan_first_divergence(
+        _capture_full("kernel:current", scenario),
+        _capture_full(corrupted_kernel, scenario),
+    )
+    assert truth is not None
+
+    report = run_differential("kernel:current", corrupted_kernel, scenario)
+    assert not report.equivalent
+    assert report.first_diverging_index == truth
+    # The corruption only changes one payload's details, so the event
+    # where it surfaces is the consumer observing the poisoned item.
+    assert report.event_b["kind"] == "queue.got"
+    assert report.event_a["details"] != report.event_b["details"]

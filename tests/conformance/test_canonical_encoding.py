@@ -1,0 +1,117 @@
+"""Properties of the canonical event encoding.
+
+The conformance digests are only as trustworthy as the encoding they
+hash: it must be injective on distinct events (or two different runs
+could collide into "conformant"), independent of dict insertion order
+(or a refactor reordering kwargs would "diverge"), and share its scalar
+canonicalization with the pinned experiment digests.
+"""
+
+import enum
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    EventKind,
+    canonical_scalar,
+    decode_event,
+    encode_event,
+)
+from repro.experiments import common as experiments_common
+
+# JSON-like detail values; tuples are excluded on purpose — they
+# canonicalize to lists, which is an intended (not accidental) collision.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+)
+_details = st.dictionaries(
+    st.text(max_size=10),
+    st.one_of(
+        _scalars,
+        st.lists(_scalars, max_size=4),
+        st.dictionaries(st.text(max_size=10), _scalars, max_size=4),
+    ),
+    max_size=6,
+)
+_events = st.tuples(
+    st.integers(min_value=0, max_value=2**40),
+    st.sampled_from(["tick", "queue.put", "ml.epoch", "wl.scan"]),
+    st.text(min_size=1, max_size=20),
+    _details,
+)
+
+
+@given(_events, _events)
+@settings(max_examples=200)
+def test_encoding_is_injective_on_distinct_events(event_a, event_b):
+    if event_a != event_b:
+        assert encode_event(*event_a) != encode_event(*event_b)
+
+
+@given(_events)
+@settings(max_examples=200)
+def test_encoding_is_stable_across_dict_ordering(event):
+    time_us, kind, agent, details = event
+    reordered = dict(reversed(list(details.items())))
+    assert encode_event(time_us, kind, agent, details) == encode_event(
+        time_us, kind, agent, reordered
+    )
+
+
+@given(_events)
+@settings(max_examples=100)
+def test_decode_round_trips_the_canonical_form(event):
+    time_us, kind, agent, details = event
+    decoded = decode_event(encode_event(time_us, kind, agent, details))
+    assert decoded["time_us"] == time_us
+    assert decoded["kind"] == kind
+    assert decoded["agent"] == agent
+    # Encoding the decoded details again is a fixed point.
+    assert encode_event(
+        time_us, kind, agent, decoded["details"]
+    ) == encode_event(time_us, kind, agent, details)
+
+
+def test_event_kind_members_encode_as_their_value():
+    payload = encode_event(5, EventKind.PREDICTION_SENT, "agent0", {})
+    assert decode_event(payload)["kind"] == EventKind.PREDICTION_SENT.value
+
+
+def test_numpy_scalars_encode_like_python_scalars():
+    plain = encode_event(1, "k", "a", {"x": 2.5, "n": 7})
+    numpied = encode_event(
+        1, "k", "a", {"x": np.float64(2.5), "n": np.int64(7)}
+    )
+    assert plain == numpied
+
+
+def test_enums_and_tuples_canonicalize():
+    class Color(enum.Enum):
+        RED = "red"
+
+    payload = encode_event(1, "k", "a", {"c": Color.RED, "t": (1, 2)})
+    details = decode_event(payload)["details"]
+    assert details == {"c": "red", "t": [1, 2]}
+
+
+def test_experiment_digests_share_the_scalar_canonicalization():
+    # The experiment digest's cell canonicalizer IS canonical_scalar —
+    # one definition, so conformance terminal states and the pinned
+    # experiment digests can never drift apart.
+    assert experiments_common._canonical_cell is canonical_scalar
+
+
+@given(st.one_of(_scalars, st.floats(allow_nan=True)))
+@settings(max_examples=200)
+def test_canonical_scalar_matches_digest_cell_semantics(value):
+    got = canonical_scalar(value)
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        assert got == str(value)
+    else:
+        assert got == repr(float(value))

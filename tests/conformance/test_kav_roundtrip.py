@@ -1,0 +1,72 @@
+"""Known-answer vectors: record → save → load → check round trip."""
+
+import dataclasses
+
+import pytest
+
+from repro.conformance.vectors import (
+    check_vector,
+    load_vector,
+    record_vector,
+    save_vector,
+)
+
+
+@pytest.fixture(scope="module")
+def kernel_vector():
+    return record_vector("kernel-churn-s3")
+
+
+def test_recorded_vector_checks_clean(kernel_vector):
+    assert check_vector(kernel_vector) == []
+
+
+def test_vector_survives_a_disk_round_trip(kernel_vector, tmp_path):
+    path = save_vector(kernel_vector, str(tmp_path))
+    loaded = load_vector(path)
+    assert loaded == kernel_vector
+    assert check_vector(loaded) == []
+
+
+def test_recording_is_deterministic(kernel_vector):
+    again = record_vector("kernel-churn-s3")
+    assert again == kernel_vector
+
+
+def test_tampered_checkpoint_names_the_divergent_window(kernel_vector):
+    checkpoints = [list(row) for row in kernel_vector.checkpoints]
+    checkpoints[2][2] = "0" * 64
+    tampered = dataclasses.replace(kernel_vector, checkpoints=checkpoints)
+    problems = check_vector(tampered)
+    assert len(problems) == 1
+    assert "first divergence at checkpoint index 600" in problems[0]
+    assert "[400, 600)" in problems[0]
+
+
+def test_tampered_terminal_state_names_the_key(kernel_vector):
+    state = dict(kernel_vector.state)
+    state["puts"] = "999999"
+    tampered = dataclasses.replace(kernel_vector, state=state)
+    problems = check_vector(tampered)
+    assert any("terminal state 'puts'" in p for p in problems)
+
+
+def test_tampered_terminal_digest_is_reported(kernel_vector):
+    terminal = list(kernel_vector.terminal)
+    terminal[2] = "f" * 64
+    tampered = dataclasses.replace(kernel_vector, terminal=terminal)
+    problems = check_vector(tampered)
+    assert any("terminal trace mismatch" in p for p in problems)
+
+
+def test_agent_vector_round_trips(tmp_path):
+    vector = record_vector("agent-overclock-synthetic-s7")
+    assert vector.impl == "agent:current"
+    assert vector.checkpoints  # cadence chosen so agent runs checkpoint
+    path = save_vector(vector, str(tmp_path))
+    assert check_vector(load_vector(path)) == []
+
+
+def test_record_rejects_family_mismatch():
+    with pytest.raises(ValueError, match="family"):
+        record_vector("kernel-churn-s3", impl_name="ml:current")

@@ -1,0 +1,93 @@
+"""Differential replay: current-vs-seed equivalence, plus report shape."""
+
+import pytest
+
+from repro.conformance import registry
+from repro.conformance.runner import run_differential
+from repro.conformance.scenarios import (
+    ReferenceImpl,
+    default_scenarios,
+)
+
+_SCRIPTED = [
+    name
+    for family in ("kernel", "ml", "workloads")
+    for name in default_scenarios(family)
+]
+
+
+@pytest.mark.parametrize("scenario", _SCRIPTED)
+def test_current_and_seed_impls_are_bit_identical(scenario):
+    family = scenario.split("-")[0]
+    report = run_differential(
+        f"{family}:current", f"{family}:seed", scenario
+    )
+    assert report.equivalent, report.render()
+    assert report.first_diverging_index is None
+    assert report.terminal_equal
+    assert report.n_events[f"{family}:current"] > 0
+    assert (
+        report.n_events[f"{family}:current"]
+        == report.n_events[f"{family}:seed"]
+    )
+
+
+def test_family_mismatch_is_rejected():
+    with pytest.raises(ValueError, match="family"):
+        run_differential("ml:current", "ml:seed", "kernel-churn-s3")
+
+
+def test_terminal_only_divergence_is_reported():
+    # Two impls with identical traces but different terminal states:
+    # the report must carry the keyed diff and no bogus event index.
+    base = registry.get("kernel:current")
+
+    def run(spec, sink):
+        state = base.run(spec, sink)
+        state["puts"] += 1
+        return state
+
+    registry.register(ReferenceImpl(
+        name="kernel:test-terminal",
+        family="kernel",
+        description="identical trace, shifted terminal counter",
+        run=run,
+    ))
+    try:
+        report = run_differential(
+            "kernel:current", "kernel:test-terminal", "kernel-churn-s3"
+        )
+    finally:
+        registry.unregister("kernel:test-terminal")
+    assert not report.equivalent
+    assert report.first_diverging_index is None
+    assert not report.terminal_equal
+    assert "puts" in report.terminal_diff
+    assert "terminal state differences" in report.render()
+
+
+def test_nondeterministic_impl_is_called_out():
+    # An impl that diverges at the digest level but replays differently
+    # the second time must raise, not report a bogus index.
+    base = registry.get("kernel:current")
+    runs = [0]
+
+    def run(spec, sink):
+        runs[0] += 1
+        if runs[0] == 1 and sink is not None:
+            sink.on_event(0, b"phantom-event")
+        return base.run(spec, sink)
+
+    registry.register(ReferenceImpl(
+        name="kernel:test-flaky",
+        family="kernel",
+        description="emits a phantom event on its first run only",
+        run=run,
+    ))
+    try:
+        with pytest.raises(RuntimeError, match="non-deterministic"):
+            run_differential(
+                "kernel:current", "kernel:test-flaky", "kernel-churn-s3"
+            )
+    finally:
+        registry.unregister("kernel:test-flaky")

@@ -1,0 +1,85 @@
+"""Stale or malformed vector files must fail loudly, never pass silently."""
+
+import json
+
+import pytest
+
+from repro.conformance.corpus import (
+    load_golden_digests,
+    save_golden_digests,
+)
+from repro.conformance.vectors import (
+    SCHEMA_VERSION,
+    VectorSchemaError,
+    load_vector,
+    record_vector,
+    save_vector,
+)
+
+
+@pytest.fixture
+def vector_path(tmp_path):
+    return save_vector(record_vector("ml-epochs-s3"), str(tmp_path))
+
+
+def _rewrite(path, mutate):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    mutate(data)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    return path
+
+
+def test_stale_schema_version_tells_user_to_rerecord(vector_path):
+    _rewrite(vector_path, lambda d: d.update(schema=SCHEMA_VERSION + 1))
+    with pytest.raises(VectorSchemaError) as error:
+        load_vector(vector_path)
+    message = str(error.value)
+    assert f"schema {SCHEMA_VERSION + 1}" in message
+    assert "repro conformance record" in message
+
+
+def test_missing_keys_are_named(vector_path):
+    _rewrite(vector_path, lambda d: (d.pop("checkpoints"), d.pop("terminal")))
+    with pytest.raises(VectorSchemaError) as error:
+        load_vector(vector_path)
+    assert "checkpoints" in str(error.value)
+    assert "terminal" in str(error.value)
+
+
+def test_invalid_json_is_a_schema_error(tmp_path):
+    path = tmp_path / "broken.kav.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(VectorSchemaError, match="not a valid"):
+        load_vector(str(path))
+
+
+def test_non_object_vector_is_a_schema_error(tmp_path):
+    path = tmp_path / "list.kav.json"
+    path.write_text("[1, 2, 3]", encoding="utf-8")
+    with pytest.raises(VectorSchemaError, match="JSON object"):
+        load_vector(str(path))
+
+
+def test_golden_table_schema_is_checked(tmp_path):
+    save_golden_digests(
+        {
+            "schema": SCHEMA_VERSION + 5,
+            "experiment_scale": 0.2,
+            "fleet": {},
+            "experiments": {},
+        },
+        str(tmp_path),
+    )
+    with pytest.raises(VectorSchemaError, match="repro conformance record"):
+        load_golden_digests(str(tmp_path))
+
+
+def test_golden_table_missing_key_is_named(tmp_path):
+    save_golden_digests(
+        {"schema": SCHEMA_VERSION, "fleet": {}, "experiments": {}},
+        str(tmp_path),
+    )
+    with pytest.raises(VectorSchemaError, match="experiment_scale"):
+        load_golden_digests(str(tmp_path))

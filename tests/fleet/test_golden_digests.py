@@ -1,70 +1,41 @@
 """Golden digests: optimization must never change a result bit.
 
-The hashes below were computed at the seed commit (pre kernel-overhaul),
-covering all three agent kinds, heterogeneous SKU mixes, and a rack
-fault burst.  Every hot-path change — kernel scheduling, event pooling,
-log modes, driver sharding, numeric inner loops — must reproduce them
-exactly, across worker counts and log modes.
+The expected values live in the committed conformance corpus
+(``tests/conformance/vectors/golden_digests.json``), recorded at the
+seed commit (pre kernel-overhaul) and re-recordable with ``repro
+conformance record``.  They cover all three agent kinds, heterogeneous
+SKU mixes, and a rack fault burst.  Every hot-path change — kernel
+scheduling, event pooling, log modes, driver sharding, numeric inner
+loops — must reproduce them exactly, across worker counts and log
+modes.  A companion test in ``tests/conformance`` pins the corpus table
+to the :mod:`repro.perf.baselines` constants the bench harness embeds.
 """
 
-import hashlib
-import json
+from pathlib import Path
 
 import pytest
 
+from repro.conformance.corpus import load_golden_digests
+from repro.conformance.scenarios import GOLDEN_FLEET_CONFIGS
+from repro.experiments.common import experiment_digest
 from repro.experiments.driver import FleetDriver, reproduce_all
-from repro.fleet.config import FaultPlan, FleetConfig
 from repro.fleet.node import FleetNode
 from repro.fleet.scenario import FleetScenario
-from repro.perf.baselines import (
-    GOLDEN_EXPERIMENT_DIGESTS as GOLDEN_EXPERIMENTS,
-    GOLDEN_EXPERIMENT_SCALE,
-    GOLDEN_FLEET_DIGESTS,
+
+CORPUS_DIR = str(
+    Path(__file__).resolve().parents[1] / "conformance" / "vectors"
 )
-
+_GOLDEN = load_golden_digests(CORPUS_DIR)
 GOLDEN_FLEETS = {
-    "overclock_8x20_seed7": (
-        FleetConfig(n_nodes=8, agent="overclock", seed=7, duration_s=20),
-        GOLDEN_FLEET_DIGESTS["overclock_8x20_seed7"],
-    ),
-    "mixed_6x15_seed3": (
-        FleetConfig(n_nodes=6, agent="mixed", seed=3, duration_s=15),
-        GOLDEN_FLEET_DIGESTS["mixed_6x15_seed3"],
-    ),
-    "harvest_4x20_seed5_fault": (
-        FleetConfig(
-            n_nodes=4, agent="harvest", seed=5, duration_s=20, rack_size=2,
-            fault=FaultPlan(racks=(0,), start_s=5, duration_s=10,
-                            probability=0.9),
-        ),
-        GOLDEN_FLEET_DIGESTS["harvest_4x20_seed5_fault"],
-    ),
+    name: (config, _GOLDEN["fleet"][name])
+    for name, config in GOLDEN_FLEET_CONFIGS.items()
 }
+GOLDEN_EXPERIMENTS = _GOLDEN["experiments"]
+GOLDEN_EXPERIMENT_SCALE = _GOLDEN["experiment_scale"]
 
 
-def _canon_cell(value):
-    if isinstance(value, bool) or value is None or isinstance(value, str):
-        return str(value)
-    try:
-        return repr(float(value))
-    except (TypeError, ValueError):
-        return str(value)
-
-
-def experiment_digest(result) -> str:
-    """Float-exact, type-canonical digest of an ExperimentResult."""
-    payload = json.dumps(
-        {
-            "name": result.name,
-            "columns": [str(column) for column in result.columns],
-            "rows": [
-                {str(k): _canon_cell(v) for k, v in row.items()}
-                for row in result.rows
-            ],
-        },
-        sort_keys=True,
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+def test_corpus_pins_every_golden_fleet():
+    assert set(_GOLDEN["fleet"]) == set(GOLDEN_FLEET_CONFIGS)
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN_FLEETS))
