@@ -12,7 +12,8 @@ A unit's key digests everything its payload can depend on:
   architecture — RNG internals and reduction kernels can change across
   any of them).  Editing the kernel, a workload, an agent, or an
   experiment invalidates every cached row; editing the CLI, the perf
-  harness (frozen copies included), or this cache package does not.
+  harness (frozen copies included), the resilience layer, or this
+  cache package does not.
 
 Keys are hex SHA-256, so the store is content-addressed in the usual
 two-level fan-out layout (``objects/ab/abcdef....pkl``).
@@ -33,8 +34,10 @@ __all__ = ["code_salt", "sweep_unit_key", "unit_key"]
 
 #: Package subtrees/files whose source cannot affect experiment rows.
 #: ``perf`` holds the frozen measurement baselines, ``cache`` is this
-#: subsystem, and the CLI only orchestrates.
-_SALT_EXCLUDED_DIRS = frozenset({"cache", "perf", "__pycache__"})
+#: subsystem, ``resilience`` only supervises dispatch (units are pure
+#: in their payloads, so retries and pool mechanics cannot move a
+#: result bit), and the CLI only orchestrates.
+_SALT_EXCLUDED_DIRS = frozenset({"cache", "perf", "resilience", "__pycache__"})
 _SALT_EXCLUDED_FILES = frozenset({"cli.py"})
 
 _code_salt_cache: Optional[str] = None

@@ -4,8 +4,14 @@ Payloads are whatever a work unit returns — already required to be
 picklable for the multiprocessing driver, and pickle round-trips floats
 and nested containers bit-exactly, which the warm-run digest guarantee
 depends on.  Writes are atomic (temp file + ``os.replace``), so a
-killed run never leaves a truncated object where a key should be;
-unreadable or corrupt objects are treated as misses and overwritten.
+killed run never leaves a truncated object where a key should be.
+
+A present-but-unreadable object is *quarantined*, not silently
+re-treated as a miss: the bad file is moved aside to
+``<cache>/quarantine/`` (evidence for the operator — something wrote
+garbage where a content-addressed object should be), counted in
+:attr:`CacheStats.corrupt`, and surfaced on the ``[cache:]`` CLI line;
+the unit then reruns and stores a fresh object (DESIGN.md §11).
 
 The store also keeps ``unit_walls.json`` — measured per-unit wall
 times that the driver feeds back into longest-first dispatch (replacing
@@ -38,14 +44,23 @@ def default_cache_dir() -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+    """Hit/miss/store counters for one :class:`ResultCache` instance.
+
+    ``corrupt`` counts present-but-unreadable objects that were moved
+    to quarantine (each such get also counts as a miss — the unit
+    reran).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
     def render(self) -> str:
-        return f"hits={self.hits} misses={self.misses} stores={self.stores}"
+        line = f"hits={self.hits} misses={self.misses} stores={self.stores}"
+        if self.corrupt:
+            line += f" corrupt={self.corrupt}"
+        return line
 
 
 @dataclass
@@ -58,19 +73,47 @@ class ResultCache:
     def _object_path(self, key: str) -> str:
         return os.path.join(self.directory, "objects", key[:2], f"{key}.pkl")
 
+    @property
+    def quarantine_dir(self) -> str:
+        """Where corrupt objects (and the poison-unit log) are kept."""
+        return os.path.join(self.directory, "quarantine")
+
     def get(self, key: str, default: Any = None) -> Any:
-        """The payload stored under ``key``, or ``default`` (a miss)."""
+        """The payload stored under ``key``, or ``default`` (a miss).
+
+        A key with no object is a plain miss.  A key whose object
+        exists but cannot be unpickled is *corrupt*: the file is moved
+        to ``<cache>/quarantine/`` as evidence, the corruption is
+        counted, and the get degrades to a miss — the unit reruns and
+        stores a fresh object.  Garbage is never returned.
+        """
+        path = self._object_path(key)
         try:
-            with open(self._object_path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # Missing, truncated, or stale-beyond-unpickling objects all
-            # degrade to a miss; the unit reruns and overwrites.
+        except FileNotFoundError:
             self.stats.misses += 1
+            return default
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # Truncated, garbled, or stale-beyond-unpickling: quarantine
+            # the evidence, then degrade to a miss.
+            self._quarantine_object(key, path)
+            self.stats.misses += 1
+            self.stats.corrupt += 1
             return default
         self.stats.hits += 1
         return payload
+
+    def _quarantine_object(self, key: str, path: str) -> None:
+        """Move a corrupt object into quarantine (best-effort)."""
+        try:
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            os.replace(
+                path, os.path.join(self.quarantine_dir, f"{key}.pkl")
+            )
+        except OSError:  # pragma: no cover — unreadable *and* unmovable
+            pass
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._object_path(key))

@@ -32,6 +32,15 @@ everything.
 (``repro.sweep``, DESIGN.md §9) through the same cache (``sweep::``
 namespace) and warm pool: a warm re-run executes zero cells and
 reproduces the campaign digest bit-identically, for any ``--workers``.
+
+Every pooled path dispatches through the supervised execution substrate
+(``repro.resilience``, DESIGN.md §11): worker crashes are retried with
+deterministic backoff, repeat offenders are quarantined as explicit
+holes, and ``--max-retries`` / ``--unit-timeout`` tune the policy.
+``repro chaos`` turns the substrate on itself: it runs a target twice —
+fault-free, then under an injected worker-fault plan — and verifies
+that the faulted run either reproduces the fault-free digests
+bit-identically or reports the exact quarantined units.
 """
 
 from __future__ import annotations
@@ -59,6 +68,21 @@ from repro.fleet.config import (
 )
 
 __all__ = ["main"]
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """``--max-retries`` / ``--unit-timeout`` for supervised dispatch."""
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="re-dispatches per failed/crashed/timed-out work unit "
+             "before it is quarantined (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt deadline; a unit running past it is presumed "
+             "hung, its worker is killed, and the attempt counts as a "
+             "failure (default: no deadline)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -117,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="burst kind: invalid values, telemetry dropout/stale "
              "reads, or agent crash-restart (default: %(default)s)",
     )
+    _add_resilience_flags(fleet)
 
     rall = sub.add_parser(
         "reproduce-all", help="regenerate every table and figure"
@@ -153,6 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--emit-experiments", metavar="PATH", default=None,
         help="also write the EXPERIMENTS.md measured-output tables",
     )
+    _add_resilience_flags(rall)
 
     sweep = sub.add_parser(
         "sweep",
@@ -184,6 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="result cache location (default: $REPRO_CACHE_DIR or "
              "./.repro-cache)",
     )
+    _add_resilience_flags(sweep_run)
     sweep_show = sweep_sub.add_parser(
         "show", help="expand a campaign spec without executing anything"
     )
@@ -195,6 +222,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "directory", nargs="?", default="examples/campaigns",
         help="directory to scan for .toml specs (default: %(default)s)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="prove resilience: run a target fault-free and under an "
+             "injected worker-fault plan, then compare digests and "
+             "quarantine reports",
+    )
+    chaos.add_argument(
+        "target", choices=("fleet", "reproduce", "sweep"),
+        help="which pooled pipeline to stress",
+    )
+    chaos.add_argument(
+        "--fault", default="crash",
+        choices=("crash", "hang", "corrupt_cache", "slow"),
+        help="injected fault kind (default: %(default)s); corrupt_cache "
+             "targets the result cache and needs a cached target "
+             "(reproduce or sweep)",
+    )
+    chaos.add_argument(
+        "--probability", type=float, default=0.4,
+        help="per-unit fault selection probability, hashed from "
+             "--chaos-seed (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="fault-selection seed; the faulted subset is a pure "
+             "function of (seed, unit id) (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--poison", action="append", default=None, metavar="UNIT_ID",
+        help="unit id that faults on every attempt (repeatable); the "
+             "run must quarantine exactly these units",
+    )
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument(
+        "--nodes", type=int, default=16, help="fleet target: node count"
+    )
+    chaos.add_argument(
+        "--agent", default="overclock", choices=AGENT_KINDS + ("mixed",),
+        help="fleet target: agent kind (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--seconds", type=int, default=60,
+        help="fleet target: simulated seconds per node",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="fleet target: fleet seed"
+    )
+    chaos.add_argument(
+        "--scale", type=float, default=0.1,
+        help="reproduce target: duration scale (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--only", nargs="+", choices=ARTIFACTS, metavar="ARTIFACT",
+        default=None, help="reproduce target: restrict the artifact set",
+    )
+    chaos.add_argument(
+        "--spec", metavar="SPEC", default=None,
+        help="sweep target: campaign spec path (required for sweep)",
+    )
+    _add_resilience_flags(chaos)
 
     add_conformance_parser(sub)
 
@@ -283,7 +371,40 @@ def _parse_fault(args: argparse.Namespace) -> Optional[FaultPlan]:
     )
 
 
+def _retry_policy(args: argparse.Namespace):
+    from repro.resilience import RetryPolicy
+
+    return RetryPolicy(
+        max_retries=args.max_retries, unit_timeout_s=args.unit_timeout
+    )
+
+
+def _quarantine_log(cache: Optional[ResultCache]):
+    """A quarantine log next to the cache's corrupt-object quarantine
+    (memory-only when no cache directory is in play)."""
+    from repro.resilience import QuarantineLog
+
+    if cache is None:
+        return QuarantineLog()
+    return QuarantineLog(directory=cache.quarantine_dir)
+
+
+def _print_quarantine(quarantine, only_units=None) -> None:
+    """Summarize this run's quarantined units (the persisted log keeps
+    records across runs; ``only_units`` restricts to this run's holes)."""
+    records = quarantine.load()
+    if only_units is not None:
+        records = [r for r in records if r.unit_id in set(only_units)]
+    if not records:
+        return
+    units = ", ".join(sorted(r.unit_id for r in records))
+    where = f" (log: {quarantine.path})" if quarantine.path else ""
+    print(f"[quarantine: {len(records)} unit(s) — {units}{where}]")
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.resilience import QuarantineLog
+
     config = FleetConfig(
         n_nodes=args.nodes,
         agent=args.agent,
@@ -292,13 +413,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         rack_size=args.rack_size,
         fault=_parse_fault(args),
     )
-    driver = FleetDriver(config, workers=args.workers)
+    quarantine = QuarantineLog()
+    driver = FleetDriver(
+        config,
+        workers=args.workers,
+        resilience=_retry_policy(args),
+        quarantine=quarantine,
+    )
     started = time.perf_counter()
     aggregate = driver.run()
     wall = time.perf_counter() - started
     print(aggregate.render())
     # driver.workers, not args.workers: the pool is capped at n_nodes.
     print(f"[{driver.workers} worker(s), {wall:.1f}s wall]")
+    _print_quarantine(quarantine)
     return 0
 
 
@@ -317,6 +445,7 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     cache = None
     if args.cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
+    quarantine = _quarantine_log(cache)
     started = time.perf_counter()
     runs = reproduce_all(
         parallel=args.parallel,
@@ -326,15 +455,23 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
         on_result=_print_run,
         granularity=args.granularity,
         cache=cache,
+        resilience=_retry_policy(args),
+        quarantine=quarantine,
     )
     wall = time.perf_counter() - started
     mode = (
         f"parallel/{args.granularity}" if args.parallel else "serial"
     )
-    print(f"[reproduce-all: {len(runs)} artifacts, {mode}, "
-          f"{wall:.1f}s wall total]")
+    partial = sum(1 for run in runs if run.partial)
+    summary = f"[reproduce-all: {len(runs)} artifacts"
+    if partial:
+        summary += f" ({partial} PARTIAL)"
+    print(f"{summary}, {mode}, {wall:.1f}s wall total]")
     if cache is not None:
         print(f"[cache: {cache.stats.render()} dir={cache.directory}]")
+    _print_quarantine(
+        quarantine, only_units=[h for run in runs for h in run.holes]
+    )
     if args.emit_experiments:
         text = render_experiments_markdown(runs, quick=args.quick)
         with open(args.emit_experiments, "w", encoding="utf-8") as handle:
@@ -427,7 +564,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = None
     if args.cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    runner = SweepRunner(spec, workers=args.workers, cache=cache)
+    quarantine = _quarantine_log(cache)
+    runner = SweepRunner(
+        spec,
+        workers=args.workers,
+        cache=cache,
+        resilience=_retry_policy(args),
+        quarantine=quarantine,
+    )
     report = runner.run()
     print(report.render())
     print(
@@ -436,6 +580,213 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     if cache is not None:
         print(f"[cache: {cache.stats.render()} dir={cache.directory}]")
+    _print_quarantine(quarantine, only_units=report.holes)
+    return 0
+
+
+def _chaos_fleet(args, plan, policy, quarantine) -> List[str]:
+    config = FleetConfig(
+        n_nodes=args.nodes, agent=args.agent, seed=args.seed,
+        duration_s=args.seconds,
+    )
+    baseline = FleetDriver(config, workers=args.workers).run()
+    print(f"[baseline: digest {baseline.digest()}]")
+    chaotic = FleetDriver(
+        config, workers=args.workers,
+        resilience=policy, quarantine=quarantine, chaos=plan,
+    ).run()
+    suffix = " PARTIAL" if chaotic.partial else ""
+    print(f"[chaos:    digest {chaotic.digest()}{suffix}]")
+    if chaotic.partial:
+        # Holes are verified against the poison set by the caller; a
+        # partial aggregate legitimately diverges from the baseline.
+        return []
+    if chaotic.digest() != baseline.digest():
+        return ["fleet digest diverged under faults with nothing "
+                "quarantined"]
+    return []
+
+
+def _chaos_reproduce(args, plan, policy, quarantine) -> List[str]:
+    def run_all(cache=None, chaos=None):
+        return reproduce_all(
+            parallel=True,
+            workers=args.workers,
+            scale=args.scale,
+            only=args.only,
+            granularity="series",
+            cache=cache,
+            resilience=policy,
+            quarantine=quarantine if chaos is not None or cache else None,
+            chaos=chaos,
+        )
+
+    def digests(runs):
+        return {
+            run.result.name: experiment_digest(run.result) for run in runs
+        }
+
+    if plan.kind == "corrupt_cache":
+        return _chaos_corrupt_cache(
+            plan,
+            lambda cache: digests(run_all(cache=cache)),
+        )
+
+    base = digests(run_all())
+    print(f"[baseline: {len(base)} artifact digest(s)]")
+    failures: List[str] = []
+    for run in run_all(chaos=plan):
+        name = run.result.name
+        if run.partial:
+            print(f"[chaos: {name} PARTIAL — "
+                  f"holes: {', '.join(run.holes)}]")
+            continue
+        if experiment_digest(run.result) == base.get(name):
+            print(f"[chaos: {name} digest matches baseline]")
+        else:
+            print(f"[chaos: {name} digest DIVERGED]")
+            failures.append(f"{name}: digest diverged under faults")
+    return failures
+
+
+def _chaos_sweep(args, plan, policy, quarantine) -> List[str]:
+    from repro.sweep import SweepRunner, load_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except OSError as error:
+        raise SystemExit(f"repro: error: cannot read {args.spec}: {error}")
+
+    def run_campaign(cache=None, chaos=None):
+        return SweepRunner(
+            spec,
+            workers=args.workers,
+            cache=cache,
+            resilience=policy,
+            quarantine=quarantine if chaos is not None or cache else None,
+            chaos=chaos,
+        ).run()
+
+    if plan.kind == "corrupt_cache":
+        return _chaos_corrupt_cache(
+            plan,
+            lambda cache: {"campaign": run_campaign(cache=cache).digest()},
+        )
+
+    baseline = run_campaign()
+    print(f"[baseline: digest {baseline.digest()}]")
+    report = run_campaign(chaos=plan)
+    suffix = " PARTIAL" if report.partial else ""
+    print(f"[chaos:    digest {report.digest()}{suffix}]")
+    if report.partial:
+        return []
+    if report.digest() != baseline.digest():
+        return ["campaign digest diverged under faults with nothing "
+                "quarantined"]
+    return []
+
+
+def _chaos_corrupt_cache(plan, run_with_cache) -> List[str]:
+    """Cold run through a write-corrupting cache, then a warm rerun
+    through a plain cache on the same directory: every corrupt object
+    must be quarantined (never trusted) and the warm digests must still
+    match the cold ones bit-for-bit.
+    """
+    import shutil
+    import tempfile
+
+    from repro.resilience import ChaosCache
+
+    tmp = tempfile.mkdtemp(prefix="repro-chaos-cache-")
+    try:
+        cold_cache = ChaosCache(directory=tmp, plan=plan)
+        cold = run_with_cache(cold_cache)
+        corrupted = len(cold_cache.corrupted_keys)
+        print(f"[chaos: corrupted {corrupted} cache object(s) on disk]")
+        warm_cache = ResultCache(tmp)
+        warm = run_with_cache(warm_cache)
+        print(f"[chaos: warm rerun quarantined "
+              f"{warm_cache.stats.corrupt} corrupt object(s); "
+              f"{warm_cache.stats.render()}]")
+        failures: List[str] = []
+        if corrupted == 0:
+            print("[chaos: WARNING — no cache writes selected; raise "
+                  "--probability for a meaningful run]")
+        if warm_cache.stats.corrupt != corrupted:
+            failures.append(
+                f"corrupted {corrupted} object(s) but the warm rerun "
+                f"quarantined {warm_cache.stats.corrupt}"
+            )
+        for name in sorted(cold):
+            if warm.get(name) != cold[name]:
+                failures.append(
+                    f"{name}: warm digest diverged after cache corruption"
+                )
+        if not failures:
+            print(f"[chaos: {len(cold)} digest(s) reproduced through "
+                  f"corruption + quarantine]")
+        return failures
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import ChaosPlan, QuarantineLog
+
+    if args.target == "sweep" and not args.spec:
+        raise SystemExit(
+            "repro: error: chaos sweep needs --spec SPEC.toml"
+        )
+    if args.fault == "corrupt_cache":
+        if args.target == "fleet":
+            raise SystemExit(
+                "repro: error: corrupt_cache needs a cached target "
+                "(reproduce or sweep)"
+            )
+        if args.poison:
+            raise SystemExit(
+                "repro: error: --poison targets worker faults; "
+                "corrupt_cache selects cache keys by hash"
+            )
+    if args.fault == "hang" and args.unit_timeout is None:
+        # A hang without a deadline would stall the run by design.
+        args.unit_timeout = 5.0
+        print("[chaos: hang fault with no --unit-timeout; "
+              "defaulting to 5s]")
+    plan = ChaosPlan(
+        kind=args.fault,
+        probability=args.probability,
+        seed=args.chaos_seed,
+        poison_units=tuple(args.poison or ()),
+    )
+    policy = _retry_policy(args)
+    quarantine = QuarantineLog()
+    print(f"== chaos {args.target}: {plan.describe()} "
+          f"retries={policy.max_retries} "
+          f"timeout={policy.unit_timeout_s or 'none'} ==")
+    if args.target == "fleet":
+        failures = _chaos_fleet(args, plan, policy, quarantine)
+    elif args.target == "reproduce":
+        failures = _chaos_reproduce(args, plan, policy, quarantine)
+    else:
+        failures = _chaos_sweep(args, plan, policy, quarantine)
+    records = sorted(quarantine.load(), key=lambda r: r.unit_id)
+    for record in records:
+        detail = f" — {record.error}" if record.error else ""
+        print(f"[quarantined: {record.unit_id} ({record.kind} after "
+              f"{record.attempts} attempts{detail})]")
+    holes = sorted({record.unit_id for record in records})
+    expected = sorted(set(plan.poison_units))
+    if holes != expected:
+        failures.append(
+            f"quarantined units {holes} != poison set {expected}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"CHAOS FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print(f"[chaos: OK — fault={plan.kind} degraded predictably "
+          f"({len(holes)} hole(s), exact)]")
     return 0
 
 
@@ -522,12 +873,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "conformance":
             return cmd_conformance(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except ValueError as error:
         # Config validation (bad --nodes/--workers/--fault-* values):
         # present it as a usage error, not a traceback.
         raise SystemExit(f"repro: error: {error}")
+    except KeyboardInterrupt:
+        # The supervised dispatcher already tore the worker pool down on
+        # its way out (DESIGN.md §11); resetting here as well covers a
+        # Ctrl-C that lands outside any dispatch.  130 = 128 + SIGINT.
+        from repro.experiments.driver import shutdown_shared_pool
+
+        shutdown_shared_pool()
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

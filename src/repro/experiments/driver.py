@@ -30,23 +30,28 @@ estimate for every unit that has been measured before.
 
 Workers are plain processes; each imports :mod:`repro` afresh, so the
 pool works both with an installed package and with the ``src/``-path
-bootstrap (the initializer re-exports this process's ``sys.path``).
+bootstrap (the worker bootstrap replays this process's ``sys.path``).
 The pool itself is *warm*: one process-wide pool is created on first
 use and reused by every fleet run, ``reproduce_all`` pass,
 ``repro bench`` invocation, and robustness-campaign sweep
 (:class:`repro.sweep.SweepRunner`) in the process, so repeated runs
 stop paying pool spawn + re-import per call (:func:`shared_pool`).
+
+Since DESIGN.md §11 the warm pool is a
+:class:`~repro.resilience.pool.SupervisedPool` and every parallel path
+dispatches through :func:`~repro.resilience.supervisor.supervised_map`:
+units get heartbeat-checked deadlines, failed/timed-out units retry
+with deterministic backoff, repeat offenders are quarantined, and the
+run degrades to an explicit partial result instead of dying.
 """
 
 from __future__ import annotations
 
 import atexit
-import multiprocessing
-import multiprocessing.pool
 import os
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache import ResultCache, unit_key
@@ -55,6 +60,11 @@ from repro.fleet.aggregate import FleetAggregate, FleetAggregateBuilder
 from repro.fleet.config import FleetConfig
 from repro.fleet.node import NodeResult
 from repro.fleet.scenario import FleetScenario
+from repro.resilience.chaos import ChaosPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.pool import SupervisedPool
+from repro.resilience.quarantine import QuarantineLog
+from repro.resilience.supervisor import supervised_map
 
 __all__ = [
     "ARTIFACTS",
@@ -68,36 +78,27 @@ __all__ = [
 ]
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer fork (cheap, inherits sys.path); fall back to spawn."""
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context("spawn")
-
-
-def _init_worker(path: List[str]) -> None:
-    """Make ``repro`` importable in spawn-style workers."""
-    for entry in reversed(path):
-        if entry not in sys.path:
-            sys.path.insert(0, entry)
-
-
 # -- warm worker pool --------------------------------------------------------
 
-_shared_pool: Optional[multiprocessing.pool.Pool] = None
+_shared_pool: Optional[SupervisedPool] = None
 _shared_pool_size = 0
 
 
-def shared_pool(workers: int) -> multiprocessing.pool.Pool:
+def shared_pool(workers: int) -> SupervisedPool:
     """The process-wide warm worker pool, sized for ``workers``.
 
     Created on first use and reused by every subsequent fleet run,
-    ``reproduce_all`` pass, and bench invocation in this process — the
-    spawn + re-import cost is paid once, not per call.  A request for
-    more workers than the current pool holds replaces it with a larger
-    one; a request for fewer reuses the existing pool (idle workers are
-    near-free, and shard/unit results never depend on pool size —
-    DESIGN.md §5/§7 — so only wall-clock could differ).
+    ``reproduce_all`` pass, sweep, and bench invocation in this process
+    — the spawn + re-import cost is paid once, not per call.  A request
+    for more workers than the current pool holds replaces it with a
+    larger one; a request for fewer reuses the existing pool (idle
+    workers are near-free, and shard/unit results never depend on pool
+    size — DESIGN.md §5/§7 — so only wall-clock could differ).
+
+    The pool is a :class:`~repro.resilience.pool.SupervisedPool`
+    (DESIGN.md §11): per-worker queues, observable liveness, targeted
+    kill + respawn — the substrate :func:`supervised_map` needs to
+    retry and quarantine instead of hanging on a dead worker.
     """
     global _shared_pool, _shared_pool_size
     if workers < 1:
@@ -105,10 +106,8 @@ def shared_pool(workers: int) -> multiprocessing.pool.Pool:
     if _shared_pool is not None and _shared_pool_size < workers:
         shutdown_shared_pool()
     if _shared_pool is None:
-        _shared_pool = _pool_context().Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(list(sys.path),),
+        _shared_pool = SupervisedPool(
+            processes=workers, path=list(sys.path)
         )
         _shared_pool_size = workers
     return _shared_pool
@@ -119,7 +118,6 @@ def shutdown_shared_pool() -> None:
     global _shared_pool, _shared_pool_size
     if _shared_pool is not None:
         _shared_pool.terminate()
-        _shared_pool.join()
         _shared_pool = None
         _shared_pool_size = 0
 
@@ -141,13 +139,28 @@ class FleetDriver:
         config: the fleet to simulate.
         workers: worker processes; ``1`` (or a one-node fleet) runs
             in-process with no pool at all.
+        resilience: retry/backoff/deadline policy for pooled dispatch
+            (default :class:`~repro.resilience.policy.RetryPolicy`()).
+        quarantine: where poisoned chunks are persisted (optional).
+        chaos: fault-injection plan override (tests/harness only; the
+            ``REPRO_CHAOS_PLAN`` environment variable otherwise).
     """
 
-    def __init__(self, config: FleetConfig, workers: int = 1) -> None:
+    def __init__(
+        self,
+        config: FleetConfig,
+        workers: int = 1,
+        resilience: Optional[RetryPolicy] = None,
+        quarantine: Optional[QuarantineLog] = None,
+        chaos: Optional[ChaosPlan] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.config = config
         self.workers = min(workers, config.n_nodes)
+        self.resilience = resilience
+        self.quarantine = quarantine
+        self.chaos = chaos
 
     def shards(self) -> List[Tuple[int, ...]]:
         """Round-robin node-id shards, one per worker.
@@ -190,8 +203,12 @@ class FleetDriver:
         materialized and aggregation overlaps the remaining simulation.
         A single-chunk work list runs inline: a pool cannot overlap
         anything when there is only one unit of work to hand out.
-        Multi-chunk runs dispatch onto the process-wide warm pool
-        (:func:`shared_pool`).
+        Multi-chunk runs dispatch through :func:`supervised_map` onto
+        the process-wide warm pool (:func:`shared_pool`): chunks whose
+        workers die or stall are retried under the driver's
+        :class:`RetryPolicy`, and chunks that keep failing are
+        quarantined — the aggregate then reports their node ids as
+        explicit ``holes`` instead of the run dying.
         """
         if self.workers == 1:
             return FleetScenario(self.config).run_fleet()
@@ -201,19 +218,32 @@ class FleetDriver:
             for chunk in chunks:
                 builder.add_many(_run_shard((self.config, chunk)))
             return builder.build()
-        payloads = [(self.config, chunk) for chunk in chunks]
-        pool = shared_pool(self.workers)
-        try:
-            for chunk_results in pool.imap_unordered(_run_shard, payloads):
-                builder.add_many(chunk_results)
-        except BaseException:
-            # The warm pool would otherwise keep grinding the queued
-            # shards (and pinning their results) after the caller has
-            # already seen the failure; tear it down — the next run
-            # re-creates it.
-            shutdown_shared_pool()
-            raise
-        return builder.build()
+        units: List[Tuple[str, Any]] = []
+        nodes_by_unit: Dict[str, Tuple[int, ...]] = {}
+        for index, chunk in enumerate(chunks):
+            unit_id = f"chunk{index:03d}(n{chunk[0]}+{len(chunk)})"
+            units.append((unit_id, (self.config, chunk)))
+            nodes_by_unit[unit_id] = chunk
+        outcome = supervised_map(
+            _run_shard,
+            units,
+            workers=self.workers,
+            pool_factory=shared_pool,
+            pool_shutdown=shutdown_shared_pool,
+            policy=self.resilience,
+            quarantine=self.quarantine,
+            chaos=self.chaos,
+            on_result=lambda _unit_id, results: builder.add_many(results),
+            context="fleet",
+        )
+        holes = tuple(
+            sorted(
+                node_id
+                for unit_id in outcome.holes
+                for node_id in nodes_by_unit[unit_id]
+            )
+        )
+        return builder.build(holes=holes)
 
 
 # -- reproduce-all ----------------------------------------------------------
@@ -293,11 +323,45 @@ def _resolve(path: str) -> Callable[..., Any]:
 
 @dataclass
 class ArtifactRun:
-    """One reproduced artifact plus its wall time."""
+    """One reproduced artifact plus its wall time.
+
+    ``holes`` lists the quarantined unit ids of a *partial* artifact —
+    one whose work units kept failing under supervision and were
+    poisoned (DESIGN.md §11).  Empty on every complete run, so the
+    field is invisible to the overwhelmingly common case.
+    """
 
     name: str
     result: ExperimentResult
     wall_seconds: float
+    holes: Tuple[str, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.holes)
+
+
+def _hole_run(
+    name: str, holes: Sequence[str], wall_seconds: float
+) -> ArtifactRun:
+    """Placeholder run for an artifact with quarantined units.
+
+    The artifact cannot be assembled (its ``assemble`` step needs every
+    series payload), so the run degrades to an explicit partial: the
+    result names each quarantined unit instead of fabricating rows.
+    """
+    ordered = sorted(holes)
+    result = ExperimentResult(
+        name=name,
+        title=f"PARTIAL — {len(ordered)} unit(s) quarantined",
+        columns=["unit", "status"],
+        rows=[{"unit": unit, "status": "quarantined"} for unit in ordered],
+        notes=[
+            "units exhausted their retry budget and were quarantined; "
+            "see the quarantine log for failure records",
+        ],
+    )
+    return ArtifactRun(name, result, wall_seconds, holes=tuple(ordered))
 
 
 def _run_artifact(payload: Tuple[str, float]) -> ArtifactRun:
@@ -444,6 +508,9 @@ def reproduce_all(
     on_result: Optional[Callable[[ArtifactRun], None]] = None,
     granularity: str = "series",
     cache: Optional[ResultCache] = None,
+    resilience: Optional[RetryPolicy] = None,
+    quarantine: Optional[QuarantineLog] = None,
+    chaos: Optional[ChaosPlan] = None,
 ) -> List[ArtifactRun]:
     """Regenerate every table and figure, serially or sharded.
 
@@ -465,6 +532,10 @@ def reproduce_all(
             unchanged units load instead of executing, so a warm re-run
             assembles every figure without running a single simulation,
             bit-identically (DESIGN.md §8).  ``None`` disables caching.
+        resilience: retry/backoff/deadline policy for pooled dispatch
+            (default :class:`RetryPolicy`(); DESIGN.md §11).
+        quarantine: where poisoned units are persisted (optional).
+        chaos: fault-injection plan override (tests/harness only).
 
     Returns:
         Runs in canonical (paper) order regardless of completion order.
@@ -503,10 +574,12 @@ def reproduce_all(
         return runs
     if granularity == "artifact":
         return _reproduce_artifact_granular(
-            names, workers, scale, on_result, cache
+            names, workers, scale, on_result, cache,
+            resilience, quarantine, chaos,
         )
     return _reproduce_series_granular(
-        names, workers, scale, on_result, cache
+        names, workers, scale, on_result, cache,
+        resilience, quarantine, chaos,
     )
 
 
@@ -545,6 +618,9 @@ def _reproduce_artifact_granular(
     scale: float,
     on_result: Optional[Callable[[ArtifactRun], None]],
     cache: Optional[ResultCache] = None,
+    resilience: Optional[RetryPolicy] = None,
+    quarantine: Optional[QuarantineLog] = None,
+    chaos: Optional[ChaosPlan] = None,
 ) -> List[ArtifactRun]:
     """One artifact per work unit (the pre-sharding parallel path)."""
     pending: List[Tuple[str, float]] = []
@@ -570,27 +646,38 @@ def _reproduce_artifact_granular(
             if on_result is not None:
                 on_result(ready)
 
+    def handle_result(_unit_id: str, run: ArtifactRun) -> None:
+        if cache is not None:
+            cache.put(
+                _cache_key(run.name, _WHOLE_ARTIFACT, scale), run.result
+            )
+        completed[run.name] = run
+        emit_ready()
+
+    def handle_quarantine(record) -> None:
+        name = record.unit_id.split(":", 1)[1]
+        completed[name] = _hole_run(name, [record.unit_id], 0.0)
+        emit_ready()
+
     emit_ready()
     if pending:
-        pool = shared_pool(
-            min(workers or os.cpu_count() or 1, len(pending))
+        # Supervised, unordered dispatch so a straggler (fig7 dominates
+        # the full pass) never idles the pool behind canonical order;
+        # completed runs are buffered and re-emitted in canonical order
+        # as their turn comes, keeping the on_result streaming contract.
+        supervised_map(
+            _run_artifact,
+            [(f"artifact:{name}", (name, scale)) for name, _ in pending],
+            workers=min(workers or os.cpu_count() or 1, len(pending)),
+            pool_factory=shared_pool,
+            pool_shutdown=shutdown_shared_pool,
+            policy=resilience,
+            quarantine=quarantine,
+            chaos=chaos,
+            on_result=handle_result,
+            on_quarantine=handle_quarantine,
+            context="reproduce",
         )
-        # imap_unordered so a straggler (fig7 dominates the full pass)
-        # never idles the pool behind canonical order; completed runs
-        # are buffered and re-emitted in canonical order as their turn
-        # comes, which keeps the on_result streaming contract.
-        try:
-            for run in pool.imap_unordered(_run_artifact, pending):
-                if cache is not None:
-                    cache.put(
-                        _cache_key(run.name, _WHOLE_ARTIFACT, scale),
-                        run.result,
-                    )
-                completed[run.name] = run
-                emit_ready()
-        except BaseException:
-            shutdown_shared_pool()  # don't leave queued units grinding
-            raise
     return runs
 
 
@@ -600,6 +687,9 @@ def _reproduce_series_granular(
     scale: float,
     on_result: Optional[Callable[[ArtifactRun], None]],
     cache: Optional[ResultCache] = None,
+    resilience: Optional[RetryPolicy] = None,
+    quarantine: Optional[QuarantineLog] = None,
+    chaos: Optional[ChaosPlan] = None,
 ) -> List[ArtifactRun]:
     """Sub-artifact sharding: one (artifact, series) scenario per unit."""
     units_by_artifact = {name: artifact_units(name, scale) for name in names}
@@ -608,6 +698,7 @@ def _reproduce_series_granular(
     remaining: Dict[str, int] = {
         n: len(units_by_artifact[n]) for n in names
     }
+    holes_by_artifact: Dict[str, List[str]] = {n: [] for n in names}
     executed_walls: Dict[str, float] = {}
     # Cache probe: hit units join their artifact immediately; only the
     # misses are dispatched.  A fully-warm pass therefore never touches
@@ -641,9 +732,17 @@ def _reproduce_series_granular(
     emit_index = 0
 
     def finish_artifact(name: str) -> None:
-        assembled[name] = _assemble_artifact(
-            name, scale, collected.pop(name), walls[name]
-        )
+        holes = holes_by_artifact[name]
+        if holes:
+            # At least one unit was poisoned: the artifact cannot be
+            # assembled.  Degrade to an explicit partial instead of
+            # dying (DESIGN.md §11).
+            collected.pop(name, None)
+            assembled[name] = _hole_run(name, holes, walls[name])
+        else:
+            assembled[name] = _assemble_artifact(
+                name, scale, collected.pop(name), walls[name]
+            )
 
     def emit_ready() -> None:
         nonlocal emit_index
@@ -659,26 +758,56 @@ def _reproduce_series_granular(
             finish_artifact(name)
     emit_ready()
     if payloads:
-        pool = shared_pool(
-            min(workers or os.cpu_count() or 1, len(payloads))
-        )
+
+        def handle_result(
+            _unit_id: str,
+            unit_result: Tuple[str, Optional[str], Any, float],
+        ) -> None:
+            name, series, payload, wall = unit_result
+            if cache is not None:
+                cache.put(_cache_key(name, series, scale), payload)
+            _record_wall(name, series, scale, wall)
+            executed_walls[_wall_key(name, series, scale)] = wall
+            collected[name][series] = payload
+            walls[name] += wall
+            remaining[name] -= 1
+            if remaining[name] == 0:
+                finish_artifact(name)
+            emit_ready()
+
+        unit_coords = {
+            _wall_key(name, series, scale): name
+            for name, series, _scale in payloads
+        }
+
+        def handle_quarantine(record) -> None:
+            name = unit_coords[record.unit_id]
+            holes_by_artifact[name].append(record.unit_id)
+            remaining[name] -= 1
+            if remaining[name] == 0:
+                finish_artifact(name)
+            emit_ready()
+
         try:
-            for name, series, payload, wall in pool.imap_unordered(
-                _run_series_unit, payloads
-            ):
-                if cache is not None:
-                    cache.put(_cache_key(name, series, scale), payload)
-                _record_wall(name, series, scale, wall)
-                executed_walls[_wall_key(name, series, scale)] = wall
-                collected[name][series] = payload
-                walls[name] += wall
-                remaining[name] -= 1
-                if remaining[name] == 0:
-                    finish_artifact(name)
-                emit_ready()
+            supervised_map(
+                _run_series_unit,
+                [
+                    (_wall_key(name, series, scale), (name, series, scale))
+                    for name, series, _scale in payloads
+                ],
+                workers=min(workers or os.cpu_count() or 1, len(payloads)),
+                pool_factory=shared_pool,
+                pool_shutdown=shutdown_shared_pool,
+                policy=resilience,
+                quarantine=quarantine,
+                chaos=chaos,
+                on_result=handle_result,
+                on_quarantine=handle_quarantine,
+                context="reproduce",
+            )
         except BaseException:
-            shutdown_shared_pool()  # don't leave queued units grinding
-            # Completed units are already cached; keep their walls too.
+            # Completed units are already cached; keep their walls too
+            # (supervised_map has already reset the shared pool).
             _persist_recorded_walls(cache, executed_walls)
             raise
     _persist_recorded_walls(cache, executed_walls)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.fleet.node import NodeResult
 
@@ -22,7 +22,14 @@ __all__ = ["FleetAggregate", "FleetAggregateBuilder"]
 
 @dataclass
 class FleetAggregate:
-    """Fleet-wide rollup of per-node results."""
+    """Fleet-wide rollup of per-node results.
+
+    ``holes`` lists node ids whose work chunks were quarantined by the
+    supervised dispatcher (DESIGN.md §11) — a *partial* aggregate
+    reports its gaps explicitly instead of the run dying.  Empty on
+    every complete run; a complete run's canonical form (and therefore
+    its digest) is unchanged by the field's existence.
+    """
 
     n_nodes: int
     sim_seconds: int
@@ -34,6 +41,12 @@ class FleetAggregate:
     by_rack: Dict[int, Dict[str, Any]]
     by_sku: Dict[str, int]
     results: List[NodeResult] = field(default_factory=list, repr=False)
+    holes: Tuple[int, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        """Whether any node is missing from this aggregate."""
+        return bool(self.holes)
 
     @property
     def slo_violation_rate(self) -> float:
@@ -52,8 +65,14 @@ class FleetAggregate:
     # -- canonical form ------------------------------------------------------
 
     def as_dict(self) -> Dict[str, Any]:
-        """JSON-safe canonical form (excludes the raw per-node list)."""
-        return {
+        """JSON-safe canonical form (excludes the raw per-node list).
+
+        ``holes`` appears only when non-empty: a complete aggregate's
+        canonical form — and so every committed golden digest and
+        conformance vector — is byte-identical to what it was before
+        partial aggregates existed.
+        """
+        canonical: Dict[str, Any] = {
             "n_nodes": self.n_nodes,
             "sim_seconds": self.sim_seconds,
             "slo_windows": self.slo_windows,
@@ -88,6 +107,9 @@ class FleetAggregate:
                 for r in self.results
             ],
         }
+        if self.holes:
+            canonical["holes"] = list(self.holes)
+        return canonical
 
     def digest(self) -> str:
         """SHA-256 over the canonical form; equal runs ⇔ equal digests.
@@ -142,6 +164,11 @@ class FleetAggregate:
             lines.append(
                 f"  rack {rack}: {row['nodes']} nodes, "
                 f"slo-violation {rate:.4f}"
+            )
+        if self.holes:
+            lines.append(
+                f"PARTIAL: {len(self.holes)} node(s) quarantined — "
+                + ", ".join(f"n{n}" for n in self.holes)
             )
         lines.append(f"digest: {self.digest()}")
         return "\n".join(lines)
@@ -209,14 +236,21 @@ class FleetAggregateBuilder:
             self.add(result)
         return self
 
-    def build(self) -> FleetAggregate:
-        """Finalize into a :class:`FleetAggregate` (canonical node order)."""
-        if not self._results:
+    def build(self, holes: Iterable[int] = ()) -> FleetAggregate:
+        """Finalize into a :class:`FleetAggregate` (canonical node order).
+
+        ``holes`` (node ids quarantined by the supervised dispatcher)
+        marks the aggregate partial; a build with no results is legal
+        only when every node is a hole — an empty *complete* fleet is
+        still a caller bug.
+        """
+        holes = tuple(sorted(holes))
+        if not self._results and not holes:
             raise ValueError("cannot aggregate an empty fleet")
         ordered = sorted(self._results, key=lambda r: r.node_id)
         return FleetAggregate(
             n_nodes=len(ordered),
-            sim_seconds=ordered[0].sim_seconds,
+            sim_seconds=ordered[0].sim_seconds if ordered else 0,
             slo_windows=self._slo_windows,
             slo_violations=self._slo_violations,
             safeguard_trips=self._trips,
@@ -225,4 +259,5 @@ class FleetAggregateBuilder:
             by_rack=self._by_rack,
             by_sku=self._by_sku,
             results=ordered,
+            holes=holes,
         )

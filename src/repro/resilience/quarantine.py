@@ -1,0 +1,128 @@
+"""Poison-unit quarantine: persisted evidence of units that kept failing.
+
+When a work unit exhausts its retry budget the supervised dispatcher
+marks it *poison*: the run continues with an explicit hole, and a
+:class:`QuarantineRecord` is appended to the quarantine log so the
+failure survives the process — the next session (or an operator) can
+see exactly which units were dropped, why, and after how many tries.
+
+The log lives as one JSON document (``units.json``) under a quarantine
+directory — by default ``<cache-dir>/quarantine/``, next to the
+corrupt-object quarantine kept by :class:`repro.cache.ResultCache`.
+Writes are atomic read-merge-replace, so concurrent runs can both
+record without truncating each other's evidence (last writer wins per
+unit, which is fine: records are evidence, not results).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["QuarantineLog", "QuarantineRecord"]
+
+#: Failure classification, in increasing order of supervision involved:
+#: ``error`` (the unit raised), ``crash`` (the worker process died),
+#: ``timeout`` (the unit outlived its deadline and its worker was
+#: killed).
+FAILURE_KINDS = ("error", "crash", "timeout")
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One poisoned unit: identity, failure history, provenance.
+
+    Attributes:
+        unit_id: dispatcher-level unit identity (fleet chunk id,
+            reproduce-all unit id, or sweep cell id).
+        context: which subsystem dispatched it (``"fleet"``,
+            ``"reproduce"``, ``"sweep"``, ...).
+        kind: the *last* failure's classification (``error`` /
+            ``crash`` / ``timeout``).
+        attempts: how many times the unit was tried before poisoning.
+        error: the last failure's message (empty for crash/timeout).
+        recorded_at: Unix timestamp of the quarantine decision
+            (reporting only; never part of any digest).
+    """
+
+    unit_id: str
+    context: str
+    kind: str
+    attempts: int
+    error: str = ""
+    recorded_at: float = 0.0
+
+
+@dataclass
+class QuarantineLog:
+    """Persisted quarantine records rooted at ``directory``.
+
+    ``directory=None`` keeps the log purely in memory — the dispatcher
+    still reports quarantined units through its outcome, there is just
+    nothing on disk (used when no cache directory is in play).
+    """
+
+    directory: Optional[str] = None
+    _memory: List[QuarantineRecord] = field(default_factory=list)
+
+    @property
+    def path(self) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, "units.json")
+
+    def record(self, record: QuarantineRecord) -> None:
+        """Append one poisoned unit (atomic merge on disk)."""
+        if record.recorded_at == 0.0:
+            record = QuarantineRecord(
+                **{**asdict(record), "recorded_at": time.time()}
+            )
+        self._memory.append(record)
+        if self.path is None:
+            return
+        merged: Dict[str, dict] = {
+            entry["unit_id"]: entry for entry in self._load_raw()
+        }
+        merged[record.unit_id] = asdict(record)
+        payload = json.dumps(
+            [merged[key] for key in sorted(merged)], indent=0, sort_keys=True
+        ).encode("utf-8")
+        os.makedirs(self.directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def load(self) -> List[QuarantineRecord]:
+        """Every persisted record (memory-only records when no disk)."""
+        if self.path is None:
+            return list(self._memory)
+        return [
+            QuarantineRecord(**entry)
+            for entry in self._load_raw()
+        ]
+
+    def _load_raw(self) -> List[dict]:
+        if self.path is None:
+            return []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return []
+        return [
+            entry
+            for entry in data
+            if isinstance(entry, dict) and "unit_id" in entry
+        ]

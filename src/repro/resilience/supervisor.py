@@ -1,0 +1,225 @@
+"""The supervised dispatcher: retries, backoff, quarantine, holes.
+
+:func:`supervised_map` is the one dispatch loop every parallel path in
+the repo now runs through (fleet chunks, reproduce-all units, sweep
+cells — DESIGN.md §11).  Contract:
+
+* every unit is a pure function of its payload, so a retry can never
+  change a result bit — only the *set* of completed units can vary;
+* a unit that raises, whose worker dies, or that outlives its deadline
+  is retried with deterministic exponential backoff (seeded jitter,
+  :class:`~repro.resilience.policy.RetryPolicy`);
+* a unit that fails ``max_retries + 1`` times is *poison*: it is
+  quarantined (persisted via
+  :class:`~repro.resilience.quarantine.QuarantineLog`) and the run
+  continues — callers surface the hole explicitly instead of dying;
+* ``KeyboardInterrupt`` (or any other escaping exception) tears down
+  the shared pool before propagating, so the next in-process call gets
+  a clean pool instead of a wedged one.
+
+The function never raises for unit failures; it raises only for
+dispatcher-level problems (bad arguments) or exceptions escaping the
+caller's ``on_result`` callback.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.resilience.chaos import ChaosPlan, active_plan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.quarantine import QuarantineLog, QuarantineRecord
+
+__all__ = ["AttemptFailure", "DispatchOutcome", "supervised_map"]
+
+
+@dataclass(frozen=True)
+class AttemptFailure:
+    """One failed attempt (possibly later recovered by a retry)."""
+
+    unit_id: str
+    attempt: int
+    kind: str  # "error" | "crash" | "timeout"
+    message: str
+
+
+@dataclass
+class DispatchOutcome:
+    """What a supervised dispatch produced, holes included.
+
+    Attributes:
+        results: completed payloads by unit id.
+        quarantined: poison units, in quarantine order.
+        failures: every failed attempt, including ones a retry later
+            recovered — the chaos harness asserts against this.
+        retried: attempts that were re-dispatched.
+    """
+
+    results: Dict[str, Any] = field(default_factory=dict)
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    failures: List[AttemptFailure] = field(default_factory=list)
+    retried: int = 0
+
+    @property
+    def holes(self) -> List[str]:
+        """Quarantined unit ids, sorted (the run's explicit gaps)."""
+        return sorted(record.unit_id for record in self.quarantined)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.quarantined)
+
+
+def supervised_map(
+    fn: Callable[[Any], Any],
+    units: Sequence[Tuple[str, Any]],
+    *,
+    workers: int,
+    pool_factory: Callable[[int], Any],
+    pool_shutdown: Callable[[], None],
+    policy: Optional[RetryPolicy] = None,
+    quarantine: Optional[QuarantineLog] = None,
+    chaos: Optional[ChaosPlan] = None,
+    on_result: Optional[Callable[[str, Any], None]] = None,
+    on_quarantine: Optional[Callable[[QuarantineRecord], None]] = None,
+    context: str = "units",
+    poll_interval_s: float = 0.05,
+) -> DispatchOutcome:
+    """Run every unit through the supervised pool; degrade, don't die.
+
+    Args:
+        fn: picklable worker entry, called as ``fn(payload)``.
+        units: ``(unit_id, payload)`` pairs in dispatch order (callers
+            pre-sort longest-first; completion order is theirs to
+            canonicalize).
+        workers: pool size to request from ``pool_factory``.
+        pool_factory: the warm-pool accessor (normally
+            :func:`repro.experiments.driver.shared_pool`), resolved per
+            call so tests can substitute it.
+        pool_shutdown: tears down (and resets) the shared pool; called
+            before re-raising any escaping exception.
+        policy: retry policy (default :class:`RetryPolicy`()).
+        quarantine: where poison units are persisted (optional).
+        chaos: fault-injection plan; default: the environment's
+            (:func:`repro.resilience.chaos.active_plan`).
+        on_result: streamed ``(unit_id, result)`` callback, completion
+            order.
+        on_quarantine: called the moment a unit is poisoned, so
+            streaming callers can close out the hole immediately.
+        context: quarantine-record provenance tag.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    plan = chaos if chaos is not None else active_plan()
+    plan_dict = plan.to_dict() if plan is not None else None
+    payloads: Dict[str, Any] = {}
+    for unit_id, payload in units:
+        if unit_id in payloads:
+            raise ValueError(f"duplicate unit id {unit_id!r}")
+        payloads[unit_id] = payload
+    outcome = DispatchOutcome()
+    if not payloads:
+        return outcome
+
+    pending: deque = deque((unit_id, 0) for unit_id, _ in units)
+    delayed: List[Tuple[float, int, str, int]] = []
+    inflight: Dict[str, Tuple[int, float]] = {}
+    sequence = 0
+
+    def fail(unit_id: str, attempt: int, kind: str, message: str) -> None:
+        nonlocal sequence
+        outcome.failures.append(
+            AttemptFailure(unit_id, attempt, kind, message)
+        )
+        if attempt + 1 >= policy.max_attempts:
+            record = QuarantineRecord(
+                unit_id=unit_id,
+                context=context,
+                kind=kind,
+                attempts=attempt + 1,
+                error=message,
+            )
+            outcome.quarantined.append(record)
+            if quarantine is not None:
+                quarantine.record(record)
+            if on_quarantine is not None:
+                on_quarantine(record)
+            return
+        outcome.retried += 1
+        ready_at = time.monotonic() + policy.backoff_delay(unit_id, attempt)
+        sequence += 1
+        heapq.heappush(delayed, (ready_at, sequence, unit_id, attempt + 1))
+
+    pool = pool_factory(workers)
+    try:
+        while pending or delayed or inflight:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _ready, _seq, unit_id, attempt = heapq.heappop(delayed)
+                pending.append((unit_id, attempt))
+            while pending and pool.idle_count() > 0:
+                unit_id, attempt = pending.popleft()
+                pool.submit(
+                    fn, unit_id, attempt, payloads[unit_id], plan_dict
+                )
+                deadline = (
+                    now + policy.unit_timeout_s
+                    if policy.unit_timeout_s is not None
+                    else math.inf
+                )
+                inflight[unit_id] = (attempt, deadline)
+            if not inflight:
+                # Only backoff delays remain; sleep until the nearest.
+                if delayed:
+                    time.sleep(
+                        max(
+                            0.0,
+                            min(
+                                delayed[0][0] - time.monotonic(),
+                                poll_interval_s,
+                            ),
+                        )
+                    )
+                continue
+            for kind, unit_id, attempt, _worker, payload in pool.poll(
+                timeout=poll_interval_s
+            ):
+                state = inflight.get(unit_id)
+                if state is None or state[0] != attempt:
+                    continue  # stale event from a killed worker
+                del inflight[unit_id]
+                if kind == "done":
+                    outcome.results[unit_id] = payload
+                    if on_result is not None:
+                        on_result(unit_id, payload)
+                else:
+                    fail(unit_id, attempt, "error", payload)
+            for unit_id, attempt in pool.reap_crashed():
+                state = inflight.get(unit_id)
+                if state is None or state[0] != attempt:
+                    continue
+                del inflight[unit_id]
+                fail(unit_id, attempt, "crash", "worker process died")
+            now = time.monotonic()
+            for unit_id, (attempt, deadline) in list(inflight.items()):
+                if now > deadline:
+                    pool.kill_task(unit_id)
+                    del inflight[unit_id]
+                    fail(
+                        unit_id,
+                        attempt,
+                        "timeout",
+                        f"exceeded {policy.unit_timeout_s}s deadline",
+                    )
+    except BaseException:
+        # A Ctrl-C lands in the workers too (same process group for
+        # plain Pool workers; ours ignore SIGINT, but the dispatch
+        # state is gone either way).  Reset the shared pool so the
+        # *next* in-process call starts clean instead of wedged.
+        pool_shutdown()
+        raise
+    return outcome

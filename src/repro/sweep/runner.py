@@ -16,11 +16,14 @@ order and worker count cannot change a record bit; the
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Dict, List, Optional
 
 from repro.cache import ResultCache, sweep_unit_key
+from repro.resilience.chaos import ChaosPlan
+from repro.resilience.policy import RetryPolicy
+from repro.resilience.quarantine import QuarantineLog
+from repro.resilience.supervisor import supervised_map
 from repro.sweep.safety import CampaignReport, SafetyRecord
 from repro.sweep.spec import CampaignSpec
 from repro.sweep.units import SweepUnit, run_unit
@@ -36,9 +39,15 @@ class SweepRunner:
     Args:
         spec: the campaign grid.
         workers: worker processes; 1 runs cells inline, >1 dispatches
-            cache misses onto the shared warm pool.
+            cache misses onto the shared warm pool through the
+            supervised dispatcher (DESIGN.md §11) — cells whose workers
+            die or stall retry, poison cells become explicit report
+            holes.
         cache: consult (and fill) this result cache per cell; ``None``
             recomputes everything.
+        resilience: retry/backoff/deadline policy for pooled dispatch.
+        quarantine: where poisoned cells are persisted (optional).
+        chaos: fault-injection plan override (tests/harness only).
     """
 
     def __init__(
@@ -46,12 +55,18 @@ class SweepRunner:
         spec: CampaignSpec,
         workers: int = 1,
         cache: Optional[ResultCache] = None,
+        resilience: Optional[RetryPolicy] = None,
+        quarantine: Optional[QuarantineLog] = None,
+        chaos: Optional[ChaosPlan] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.spec = spec
         self.workers = workers
         self.cache = cache
+        self.resilience = resilience
+        self.quarantine = quarantine
+        self.chaos = chaos
 
     def run(self) -> CampaignReport:
         """Execute the grid and aggregate the safety scoreboard."""
@@ -75,41 +90,58 @@ class SweepRunner:
         # order): the biggest fleets land first so they never trail the
         # makespan.  Purely a wall-clock concern — results cannot move.
         misses.sort(key=lambda u: (-u.estimated_cost(), u.sort_key()))
-        for unit, record in self._execute(misses):
-            if self.cache is not None:
-                self.cache.put(sweep_unit_key(unit.cache_payload()), record)
-            records[unit.unit_id()] = record
+        holes = self._execute(misses, records)
         return CampaignReport.build(
             self.spec.name,
             records.values(),
-            executed=len(misses),
+            executed=len(misses) - len(holes),
             from_cache=len(units) - len(misses),
             wall_seconds=time.perf_counter() - started,
+            holes=holes,
         )
 
-    def _execute(self, misses: List[SweepUnit]):
-        """Yield ``(unit, record)`` for every miss, inline or pooled."""
+    def _execute(
+        self,
+        misses: List[SweepUnit],
+        records: Dict[str, SafetyRecord],
+    ) -> List[str]:
+        """Run every miss into ``records``; returns quarantined cell ids."""
         if not misses:
-            return
-        workers = min(
-            self.workers, len(misses), os.cpu_count() or self.workers
-        )
+            return []
+        workers = min(self.workers, len(misses))
         if workers == 1 or len(misses) == 1:
             for unit in misses:
-                yield unit, run_unit(unit)
-            return
+                record = run_unit(unit)
+                if self.cache is not None:
+                    self.cache.put(
+                        sweep_unit_key(unit.cache_payload()), record
+                    )
+                records[unit.unit_id()] = record
+            return []
         # Imported lazily so a serial sweep never touches the pool
         # machinery; the pool itself is the process-wide warm pool the
         # fleet driver and reproduce_all already share.
         from repro.experiments.driver import shared_pool, shutdown_shared_pool
 
         by_id = {unit.unit_id(): unit for unit in misses}
-        pool = shared_pool(workers)
-        try:
-            for record in pool.imap_unordered(run_unit, misses):
-                yield by_id[record.unit_id], record
-        except BaseException:
-            # Mirror the driver: don't leave queued cells grinding in
-            # the warm pool after the caller has seen the failure.
-            shutdown_shared_pool()
-            raise
+
+        def handle_result(unit_id: str, record: SafetyRecord) -> None:
+            if self.cache is not None:
+                self.cache.put(
+                    sweep_unit_key(by_id[unit_id].cache_payload()), record
+                )
+            records[unit_id] = record
+
+        outcome = supervised_map(
+            run_unit,
+            [(unit.unit_id(), unit) for unit in misses],
+            workers=workers,
+            pool_factory=shared_pool,
+            pool_shutdown=shutdown_shared_pool,
+            policy=self.resilience,
+            quarantine=self.quarantine,
+            chaos=self.chaos,
+            on_result=handle_result,
+            context="sweep",
+        )
+        return outcome.holes

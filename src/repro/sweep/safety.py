@@ -220,6 +220,12 @@ class CampaignReport:
         executed / from_cache: how many cells ran vs. loaded (warm runs
             have ``executed == 0``; excluded from the digest).
         wall_seconds: elapsed campaign wall time (excluded from digest).
+        holes: cell ids quarantined by the supervised dispatcher
+            (DESIGN.md §11) — their records are missing, explicitly.
+            The digest covers only the records present, so a partial
+            report never masquerades as a complete one with different
+            bits; callers check :attr:`partial`/:attr:`holes` to tell
+            them apart.
     """
 
     name: str
@@ -227,6 +233,7 @@ class CampaignReport:
     executed: int = 0
     from_cache: int = 0
     wall_seconds: float = 0.0
+    holes: Tuple[str, ...] = ()
     _baselines: Dict[Tuple[str, int, int], SafetyRecord] = field(
         init=False, repr=False, default_factory=dict
     )
@@ -239,6 +246,7 @@ class CampaignReport:
         executed: int = 0,
         from_cache: int = 0,
         wall_seconds: float = 0.0,
+        holes: Iterable[str] = (),
     ) -> "CampaignReport":
         ordered = sorted(records, key=lambda r: r.unit_id)
         ids = [r.unit_id for r in ordered]
@@ -250,7 +258,13 @@ class CampaignReport:
             executed=executed,
             from_cache=from_cache,
             wall_seconds=wall_seconds,
+            holes=tuple(sorted(holes)),
         )
+
+    @property
+    def partial(self) -> bool:
+        """Whether any cell is missing from this report."""
+        return bool(self.holes)
 
     def __post_init__(self) -> None:
         for record in self.records:
@@ -385,6 +399,11 @@ class CampaignReport:
             f"== campaign: {self.name} — {len(self.records)} cells "
             f"({self.executed} executed, {self.from_cache} cached) ==",
         ]
+        if self.holes:
+            lines.append(
+                f"PARTIAL: {len(self.holes)} cell(s) quarantined — "
+                + ", ".join(self.holes)
+            )
         lines.append(
             f"  {'cell':52s} {'qos':>7s} {'Δqos':>7s} {'trips':>5s} "
             f"{'fallback%':>9s} {'ttf_s':>7s}"

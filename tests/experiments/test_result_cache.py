@@ -100,6 +100,48 @@ def test_corrupt_object_degrades_to_miss(tmp_path):
     assert fresh.get("ef" * 32) == [4]
 
 
+def test_corrupt_object_is_moved_to_quarantine(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = "ef" * 32
+    cache.put(key, [1, 2, 3])
+    path = cache._object_path(key)
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    fresh = ResultCache(str(tmp_path))
+    assert fresh.get(key, None) is None
+    assert fresh.stats.corrupt == 1
+    # The evidence moved aside; the slot is free for a fresh store.
+    assert not os.path.exists(path)
+    quarantined = os.path.join(fresh.quarantine_dir, f"{key}.pkl")
+    with open(quarantined, "rb") as handle:
+        assert handle.read() == b"not a pickle"
+
+
+def test_corrupt_counter_surfaces_in_stats_render(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    assert "corrupt" not in cache.stats.render()  # silent when clean
+    cache.put("ab" * 32, [1])
+    with open(cache._object_path("ab" * 32), "wb") as handle:
+        handle.write(b"garbage")
+    fresh = ResultCache(str(tmp_path))
+    fresh.get("ab" * 32)
+    assert "corrupt=1" in fresh.stats.render()
+
+
+def test_truncated_object_is_quarantined_too(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = "0d" * 32
+    cache.put(key, list(range(100)))
+    path = cache._object_path(key)
+    with open(path, "rb") as handle:
+        head = handle.read(10)  # a torn write: valid prefix, no tail
+    with open(path, "wb") as handle:
+        handle.write(head)
+    fresh = ResultCache(str(tmp_path))
+    assert fresh.get(key, None) is None
+    assert fresh.stats.corrupt == 1
+
+
 def test_store_leaves_no_temp_debris(tmp_path):
     cache = ResultCache(str(tmp_path))
     for i in range(5):

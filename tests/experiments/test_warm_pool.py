@@ -91,3 +91,39 @@ def test_reproduce_all_shares_the_fleet_pool():
     )
     assert [run.name for run in runs] == ["table1", "table2"]
     assert driver._shared_pool is pool  # same warm pool served the pass
+
+
+def test_one_pool_serves_fleet_reproduce_and_sweep():
+    """Every pooled pipeline draws from the same warm supervised pool
+    in one process — no per-subsystem pools, no respawns between them."""
+    from repro.sweep import CampaignSpec, FaultAxis, SweepRunner
+
+    shutdown_shared_pool()
+    config = FleetConfig(n_nodes=4, agent="overclock", seed=2,
+                         duration_s=10)
+    FleetDriver(config, workers=2).run()
+    pool = driver._shared_pool
+    assert pool is not None
+    reproduce_all(only=["table1"], scale=0.05, parallel=True, workers=2)
+    assert driver._shared_pool is pool
+    spec = CampaignSpec(
+        name="warm-pool", agents=("overclock",), scales=(2,), seeds=(0,),
+        duration_s=15, rack_size=1,
+        faults=(
+            FaultAxis(kind="bad_data", intensities=(0.9,), start_s=3,
+                      duration_s=8, racks=(0,)),
+        ),
+    )
+    SweepRunner(spec, workers=2).run()
+    assert driver._shared_pool is pool  # sweep reused it too
+
+
+def test_shutdown_terminates_worker_processes():
+    shutdown_shared_pool()
+    pool = shared_pool(2)
+    processes = [w.process for w in pool._workers.values()]
+    assert all(p.is_alive() for p in processes)
+    shutdown_shared_pool()
+    assert driver._shared_pool is None
+    assert all(not p.is_alive() for p in processes)
+    shutdown_shared_pool()  # idempotent with nothing live

@@ -1,0 +1,53 @@
+"""Retry policy: deterministic backoff, bounded attempts, validation."""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+def test_backoff_is_deterministic_across_instances():
+    one = RetryPolicy(jitter_seed=7)
+    two = RetryPolicy(jitter_seed=7)
+    for attempt in range(5):
+        assert one.backoff_delay("u", attempt) == two.backoff_delay(
+            "u", attempt
+        )
+
+
+def test_backoff_grows_exponentially_then_caps():
+    policy = RetryPolicy(
+        backoff_base_s=0.1, backoff_cap_s=0.4, jitter_frac=0.0
+    )
+    assert policy.backoff_delay("u", 0) == pytest.approx(0.1)
+    assert policy.backoff_delay("u", 1) == pytest.approx(0.2)
+    assert policy.backoff_delay("u", 2) == pytest.approx(0.4)
+    assert policy.backoff_delay("u", 5) == pytest.approx(0.4)  # capped
+
+
+def test_jitter_is_seeded_and_bounded():
+    policy = RetryPolicy(jitter_frac=0.25)
+    draws = {
+        (unit, attempt): policy.jitter(unit, attempt)
+        for unit in ("a", "b", "c")
+        for attempt in range(3)
+    }
+    assert all(0.0 <= value < 0.25 for value in draws.values())
+    assert len(set(draws.values())) > 1  # units draw independent jitter
+    reseeded = RetryPolicy(jitter_frac=0.25, jitter_seed=1)
+    assert reseeded.jitter("a", 0) != policy.jitter("a", 0)
+
+
+def test_max_attempts_counts_the_first_run():
+    assert RetryPolicy(max_retries=0).max_attempts == 1
+    assert RetryPolicy(max_retries=2).max_attempts == 3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(unit_timeout_s=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_base_s=-0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter_frac=1.5)

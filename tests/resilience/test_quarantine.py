@@ -1,0 +1,56 @@
+"""The quarantine log: persistence, merging, memory-only fallback."""
+
+import json
+import os
+
+from repro.resilience import QuarantineLog, QuarantineRecord
+
+
+def _record(unit_id="u1", kind="crash", attempts=3):
+    return QuarantineRecord(
+        unit_id=unit_id, context="test", kind=kind, attempts=attempts
+    )
+
+
+def test_memory_only_log_records_without_disk():
+    log = QuarantineLog()
+    log.record(_record())
+    assert log.path is None
+    assert [r.unit_id for r in log.load()] == ["u1"]
+
+
+def test_records_persist_and_merge_on_disk(tmp_path):
+    directory = str(tmp_path / "quarantine")
+    first = QuarantineLog(directory=directory)
+    first.record(_record("unit/a"))
+    # A separate log instance (a later process) merges, not truncates.
+    second = QuarantineLog(directory=directory)
+    second.record(_record("unit/b", kind="timeout", attempts=2))
+    loaded = QuarantineLog(directory=directory).load()
+    assert sorted(r.unit_id for r in loaded) == ["unit/a", "unit/b"]
+    by_id = {r.unit_id: r for r in loaded}
+    assert by_id["unit/b"].kind == "timeout"
+    assert by_id["unit/b"].attempts == 2
+    assert all(r.recorded_at > 0 for r in loaded)
+
+
+def test_rerecording_a_unit_keeps_one_entry(tmp_path):
+    directory = str(tmp_path / "q")
+    log = QuarantineLog(directory=directory)
+    log.record(_record("u", kind="crash"))
+    log.record(_record("u", kind="timeout"))
+    loaded = QuarantineLog(directory=directory).load()
+    assert len(loaded) == 1
+    assert loaded[0].kind == "timeout"  # last writer wins
+
+
+def test_corrupt_log_degrades_to_empty(tmp_path):
+    directory = str(tmp_path / "q")
+    os.makedirs(directory)
+    with open(os.path.join(directory, "units.json"), "w") as handle:
+        handle.write("{broken")
+    log = QuarantineLog(directory=directory)
+    assert log.load() == []
+    log.record(_record())  # and recording over it recovers the file
+    with open(log.path) as handle:
+        assert json.load(handle)[0]["unit_id"] == "u1"

@@ -1,0 +1,164 @@
+"""The supervised dispatcher: retry, quarantine, deadlines, teardown."""
+
+import pytest
+
+from repro.resilience import (
+    ChaosPlan,
+    QuarantineLog,
+    RetryPolicy,
+    SupervisedPool,
+    supervised_map,
+)
+
+
+def _double(payload):
+    return payload * 2
+
+
+def _boom(payload):
+    raise RuntimeError("always fails")
+
+
+@pytest.fixture
+def pool_env():
+    """A private pool factory/shutdown pair mimicking the shared pool."""
+    state = {}
+
+    def factory(workers):
+        if "pool" not in state:
+            state["pool"] = SupervisedPool(processes=workers)
+        return state["pool"]
+
+    def shutdown():
+        pool = state.pop("pool", None)
+        if pool is not None:
+            pool.terminate()
+        state["shutdowns"] = state.get("shutdowns", 0) + 1
+
+    yield factory, shutdown, state
+    pool = state.pop("pool", None)
+    if pool is not None:
+        pool.terminate()
+
+
+# Fast policy for tests: real backoff semantics, negligible wall time.
+FAST = RetryPolicy(max_retries=2, backoff_base_s=0.01, backoff_cap_s=0.05)
+
+
+def test_plain_dispatch_completes_everything(pool_env):
+    factory, shutdown, _ = pool_env
+    units = [(f"u{i}", i) for i in range(6)]
+    seen = []
+    outcome = supervised_map(
+        _double, units, workers=2,
+        pool_factory=factory, pool_shutdown=shutdown,
+        policy=FAST, on_result=lambda uid, res: seen.append(uid),
+    )
+    assert outcome.results == {f"u{i}": 2 * i for i in range(6)}
+    assert sorted(seen) == sorted(u for u, _ in units)
+    assert not outcome.partial and outcome.retried == 0
+
+
+def test_no_units_never_touches_the_pool():
+    def poisoned(workers):
+        raise AssertionError("empty dispatch requested a pool")
+
+    outcome = supervised_map(
+        _double, [], workers=2,
+        pool_factory=poisoned, pool_shutdown=lambda: None,
+    )
+    assert outcome.results == {} and not outcome.partial
+
+
+def test_duplicate_unit_ids_are_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        supervised_map(
+            _double, [("u", 1), ("u", 2)], workers=1,
+            pool_factory=lambda w: None, pool_shutdown=lambda: None,
+        )
+
+
+def test_always_failing_unit_is_quarantined_with_history(pool_env):
+    factory, shutdown, _ = pool_env
+    log = QuarantineLog()
+    poisoned = []
+    outcome = supervised_map(
+        _boom, [("bad", None)], workers=1,
+        pool_factory=factory, pool_shutdown=shutdown,
+        policy=FAST, quarantine=log,
+        on_quarantine=lambda record: poisoned.append(record.unit_id),
+        context="test",
+    )
+    assert outcome.results == {}
+    assert outcome.holes == ["bad"] and outcome.partial
+    assert outcome.retried == FAST.max_retries
+    assert len(outcome.failures) == FAST.max_attempts
+    assert all(f.kind == "error" for f in outcome.failures)
+    (record,) = log.load()
+    assert record.unit_id == "bad" and record.context == "test"
+    assert record.attempts == FAST.max_attempts
+    assert "always fails" in record.error
+    assert poisoned == ["bad"]
+
+
+def test_crash_fault_is_retried_and_recovered(pool_env):
+    factory, shutdown, _ = pool_env
+    plan = ChaosPlan(kind="crash", probability=1.0)  # attempt 0 only
+    outcome = supervised_map(
+        _double, [(f"u{i}", i) for i in range(4)], workers=2,
+        pool_factory=factory, pool_shutdown=shutdown,
+        policy=FAST, chaos=plan,
+    )
+    assert outcome.results == {f"u{i}": 2 * i for i in range(4)}
+    assert not outcome.partial
+    assert outcome.retried == 4
+    assert all(f.kind == "crash" for f in outcome.failures)
+
+
+def test_poison_unit_quarantines_while_the_rest_complete(pool_env):
+    factory, shutdown, _ = pool_env
+    plan = ChaosPlan(kind="crash", poison_units=("u2",))
+    outcome = supervised_map(
+        _double, [(f"u{i}", i) for i in range(5)], workers=2,
+        pool_factory=factory, pool_shutdown=shutdown,
+        policy=FAST, chaos=plan,
+    )
+    assert outcome.holes == ["u2"]
+    assert sorted(outcome.results) == ["u0", "u1", "u3", "u4"]
+    (record,) = outcome.quarantined
+    assert record.kind == "crash"
+
+
+def test_hung_unit_is_killed_at_the_deadline(pool_env):
+    factory, shutdown, _ = pool_env
+    plan = ChaosPlan(kind="hang", poison_units=("stuck",), hang_s=60.0)
+    policy = RetryPolicy(
+        max_retries=1, unit_timeout_s=0.3,
+        backoff_base_s=0.01, backoff_cap_s=0.05,
+    )
+    outcome = supervised_map(
+        _double, [("stuck", 1), ("fine", 2)], workers=2,
+        pool_factory=factory, pool_shutdown=shutdown,
+        policy=policy, chaos=plan,
+    )
+    assert outcome.results == {"fine": 4}
+    assert outcome.holes == ["stuck"]
+    (record,) = outcome.quarantined
+    assert record.kind == "timeout"
+    assert "deadline" in record.error
+
+
+def test_escaping_exception_tears_the_pool_down(pool_env):
+    factory, shutdown, state = pool_env
+
+    def interrupt(uid, result):
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        supervised_map(
+            _double, [("u", 1)], workers=1,
+            pool_factory=factory, pool_shutdown=shutdown,
+            policy=FAST, on_result=interrupt,
+        )
+    assert state.get("shutdowns") == 1
+    assert "pool" not in state  # the wedged pool was discarded
