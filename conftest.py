@@ -14,6 +14,14 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: spawns real orchestrator subprocesses (seconds, not ms); "
+        "deselect with -m 'not slow'",
+    )
+
+
 @pytest.fixture(autouse=True)
 def _isolated_repro_cache(monkeypatch, tmp_path):
     """Point the result cache at a per-test directory.

@@ -36,8 +36,12 @@ __all__ = ["code_salt", "sweep_unit_key", "unit_key"]
 #: ``perf`` holds the frozen measurement baselines, ``cache`` is this
 #: subsystem, ``resilience`` only supervises dispatch (units are pure
 #: in their payloads, so retries and pool mechanics cannot move a
-#: result bit), and the CLI only orchestrates.
-_SALT_EXCLUDED_DIRS = frozenset({"cache", "perf", "resilience", "__pycache__"})
+#: result bit), ``journal`` only records dispatch durably (same
+#: argument — replayed payloads were produced by the salted code), and
+#: the CLI only orchestrates.
+_SALT_EXCLUDED_DIRS = frozenset(
+    {"cache", "journal", "perf", "resilience", "__pycache__"}
+)
 _SALT_EXCLUDED_FILES = frozenset({"cli.py"})
 
 _code_salt_cache: Optional[str] = None

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import time
 from typing import List, Optional
@@ -59,6 +60,7 @@ from repro.experiments.driver import (
     ArtifactRun,
     FleetDriver,
     reproduce_all,
+    runs_digest,
 )
 from repro.fleet.config import (
     AGENT_KINDS,
@@ -66,8 +68,14 @@ from repro.fleet.config import (
     FaultPlan,
     FleetConfig,
 )
+from repro.journal.cli import add_runs_parser, cmd_runs, journal_status_line
+from repro.journal.lease import LeaseHeldError
 
 __all__ = ["main"]
+
+
+class _Terminated(Exception):
+    """SIGTERM arrived; unwind like a Ctrl-C, exit 143."""
 
 
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
@@ -82,6 +90,21 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         help="per-attempt deadline; a unit running past it is presumed "
              "hung, its worker is killed, and the attempt counts as a "
              "failure (default: no deadline)",
+    )
+
+
+def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
+    """``--resume`` / ``--no-journal`` for the crash-consistent ledger."""
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume this run's journal instead of starting fresh: "
+             "journaled units replay, only un-journaled units execute "
+             "(see 'repro runs list' for resumable runs)",
+    )
+    parser.add_argument(
+        "--no-journal", dest="journal", action="store_false", default=True,
+        help="disable the crash-consistent run journal (the run is not "
+             "resumable after an orchestrator death)",
     )
 
 
@@ -142,6 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "reads, or agent crash-restart (default: %(default)s)",
     )
     _add_resilience_flags(fleet)
+    _add_journal_flags(fleet)
 
     rall = sub.add_parser(
         "reproduce-all", help="regenerate every table and figure"
@@ -156,6 +180,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "whole artifacts (the pre-sharding behavior)",
     )
     rall.add_argument("--quick", action="store_true")
+    rall.add_argument(
+        "--scale", type=float, default=None, metavar="FRACTION",
+        help="explicit duration scale (overrides --quick; 1.0 is the "
+             "full pass, 0.33 is --quick)",
+    )
     rall.add_argument(
         "--only", nargs="+", choices=ARTIFACTS, metavar="ARTIFACT",
         default=None,
@@ -179,6 +208,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the EXPERIMENTS.md measured-output tables",
     )
     _add_resilience_flags(rall)
+    _add_journal_flags(rall)
 
     sweep = sub.add_parser(
         "sweep",
@@ -211,6 +241,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "./.repro-cache)",
     )
     _add_resilience_flags(sweep_run)
+    _add_journal_flags(sweep_run)
     sweep_show = sweep_sub.add_parser(
         "show", help="expand a campaign spec without executing anything"
     )
@@ -282,7 +313,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--spec", metavar="SPEC", default=None,
         help="sweep target: campaign spec path (required for sweep)",
     )
+    chaos.add_argument(
+        "--kill-parent", type=int, default=None, metavar="N",
+        help="crash-consistency mode (DESIGN.md §12): run the target in "
+             "a subprocess, SIGKILL the orchestrator after its Nth "
+             "journal record, resume the run, and fail unless the "
+             "resume re-executes zero journaled units and seals with a "
+             "digest bit-identical to an uninterrupted run",
+    )
     _add_resilience_flags(chaos)
+
+    add_runs_parser(sub)
 
     add_conformance_parser(sub)
 
@@ -414,19 +455,33 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         fault=_parse_fault(args),
     )
     quarantine = QuarantineLog()
-    driver = FleetDriver(
-        config,
-        workers=args.workers,
-        resilience=_retry_policy(args),
-        quarantine=quarantine,
-    )
-    started = time.perf_counter()
-    aggregate = driver.run()
-    wall = time.perf_counter() - started
-    print(aggregate.render())
-    # driver.workers, not args.workers: the pool is capped at n_nodes.
-    print(f"[{driver.workers} worker(s), {wall:.1f}s wall]")
-    _print_quarantine(quarantine)
+    journal = None
+    if args.journal:
+        from repro.journal.pipelines import open_fleet_journal
+
+        journal = open_fleet_journal(
+            default_cache_dir(), config, args.workers, resume=args.resume
+        )
+    try:
+        driver = FleetDriver(
+            config,
+            workers=args.workers,
+            resilience=_retry_policy(args),
+            quarantine=quarantine,
+            journal=journal,
+        )
+        started = time.perf_counter()
+        aggregate = driver.run()
+        wall = time.perf_counter() - started
+        print(aggregate.render())
+        # driver.workers, not args.workers: the pool is capped at n_nodes.
+        print(f"[{driver.workers} worker(s), {wall:.1f}s wall]")
+        if journal is not None:
+            print(journal_status_line(journal))
+        _print_quarantine(quarantine)
+    finally:
+        if journal is not None:
+            journal.close()
     return 0
 
 
@@ -441,37 +496,60 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
                 f"repro: error: cannot write {args.emit_experiments}: "
                 f"{directory} is not a directory"
             )
-    scale = 0.33 if args.quick else 1.0
+    if args.scale is not None:
+        scale = args.scale
+    else:
+        scale = 0.33 if args.quick else 1.0
     cache = None
     if args.cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
     quarantine = _quarantine_log(cache)
+    journal = None
+    if args.journal and args.granularity == "series":
+        from repro.journal.pipelines import open_reproduce_journal
+
+        journal = open_reproduce_journal(
+            args.cache_dir or default_cache_dir(),
+            args.only, scale, resume=args.resume,
+        )
+    elif args.resume:
+        raise SystemExit(
+            "repro: error: --resume needs the journal "
+            "(series granularity, no --no-journal)"
+        )
     started = time.perf_counter()
-    runs = reproduce_all(
-        parallel=args.parallel,
-        workers=args.workers,
-        scale=scale,
-        only=args.only,
-        on_result=_print_run,
-        granularity=args.granularity,
-        cache=cache,
-        resilience=_retry_policy(args),
-        quarantine=quarantine,
-    )
-    wall = time.perf_counter() - started
-    mode = (
-        f"parallel/{args.granularity}" if args.parallel else "serial"
-    )
-    partial = sum(1 for run in runs if run.partial)
-    summary = f"[reproduce-all: {len(runs)} artifacts"
-    if partial:
-        summary += f" ({partial} PARTIAL)"
-    print(f"{summary}, {mode}, {wall:.1f}s wall total]")
-    if cache is not None:
-        print(f"[cache: {cache.stats.render()} dir={cache.directory}]")
-    _print_quarantine(
-        quarantine, only_units=[h for run in runs for h in run.holes]
-    )
+    try:
+        runs = reproduce_all(
+            parallel=args.parallel,
+            workers=args.workers,
+            scale=scale,
+            only=args.only,
+            on_result=_print_run,
+            granularity=args.granularity,
+            cache=cache,
+            resilience=_retry_policy(args),
+            quarantine=quarantine,
+            journal=journal,
+        )
+        wall = time.perf_counter() - started
+        mode = (
+            f"parallel/{args.granularity}" if args.parallel else "serial"
+        )
+        partial = sum(1 for run in runs if run.partial)
+        summary = f"[reproduce-all: {len(runs)} artifacts"
+        if partial:
+            summary += f" ({partial} PARTIAL)"
+        print(f"{summary}, {mode}, {wall:.1f}s wall total]")
+        if cache is not None:
+            print(f"[cache: {cache.stats.render()} dir={cache.directory}]")
+        if journal is not None:
+            print(journal_status_line(journal))
+        _print_quarantine(
+            quarantine, only_units=[h for run in runs for h in run.holes]
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     if args.emit_experiments:
         text = render_experiments_markdown(runs, quick=args.quick)
         with open(args.emit_experiments, "w", encoding="utf-8") as handle:
@@ -565,22 +643,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
     quarantine = _quarantine_log(cache)
-    runner = SweepRunner(
-        spec,
-        workers=args.workers,
-        cache=cache,
-        resilience=_retry_policy(args),
-        quarantine=quarantine,
-    )
-    report = runner.run()
-    print(report.render())
-    print(
-        f"[sweep: {len(report.records)} cells, {report.executed} executed, "
-        f"{report.from_cache} from cache, {report.wall_seconds:.1f}s wall]"
-    )
-    if cache is not None:
-        print(f"[cache: {cache.stats.render()} dir={cache.directory}]")
-    _print_quarantine(quarantine, only_units=report.holes)
+    journal = None
+    if args.journal:
+        from repro.journal.pipelines import open_sweep_journal
+
+        journal = open_sweep_journal(
+            args.cache_dir or default_cache_dir(), spec, resume=args.resume
+        )
+    try:
+        runner = SweepRunner(
+            spec,
+            workers=args.workers,
+            cache=cache,
+            resilience=_retry_policy(args),
+            quarantine=quarantine,
+            journal=journal,
+        )
+        report = runner.run()
+        print(report.render())
+        print(
+            f"[sweep: {len(report.records)} cells, "
+            f"{report.executed} executed, "
+            f"{report.from_cache} from cache, "
+            f"{report.wall_seconds:.1f}s wall]"
+        )
+        if cache is not None:
+            print(f"[cache: {cache.stats.render()} dir={cache.directory}]")
+        if journal is not None:
+            print(journal_status_line(journal))
+        _print_quarantine(quarantine, only_units=report.holes)
+    finally:
+        if journal is not None:
+            journal.close()
     return 0
 
 
@@ -730,6 +824,192 @@ def _chaos_corrupt_cache(plan, run_with_cache) -> List[str]:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+def _kill_parent_command(args: argparse.Namespace) -> List[str]:
+    """The journaled CLI invocation the kill-parent harness interrupts."""
+    if args.target == "fleet":
+        return [
+            "fleet", "--nodes", str(args.nodes), "--agent", args.agent,
+            "--seconds", str(args.seconds), "--seed", str(args.seed),
+            "--workers", str(args.workers),
+        ]
+    if args.target == "reproduce":
+        command = [
+            "reproduce-all", "--parallel",
+            "--workers", str(args.workers), "--scale", str(args.scale),
+        ]
+        if args.only:
+            command += ["--only", *args.only]
+        return command
+    return ["sweep", "run", args.spec, "--workers", str(args.workers)]
+
+
+def _kill_parent_baseline(args: argparse.Namespace) -> str:
+    """The uninterrupted run's digest (no journal, no cache)."""
+    if args.target == "fleet":
+        config = FleetConfig(
+            n_nodes=args.nodes, agent=args.agent, seed=args.seed,
+            duration_s=args.seconds,
+        )
+        return FleetDriver(config, workers=args.workers).run().digest()
+    if args.target == "reproduce":
+        runs = reproduce_all(
+            scale=args.scale, only=args.only, granularity="series"
+        )
+        return runs_digest(runs)
+    from repro.sweep import SweepRunner, load_spec
+
+    return SweepRunner(load_spec(args.spec)).run().digest()
+
+
+def _kill_parent_resume(args: argparse.Namespace, root: str, run_id: str):
+    """Resume the interrupted run in-process; returns its journal."""
+    from repro.journal.pipelines import (
+        fleet_config_from_payload,
+        open_fleet_journal,
+        open_reproduce_journal,
+        open_sweep_journal,
+        reproduce_selection_from_payload,
+        spec_from_payload,
+    )
+    from repro.journal.registry import inspect_run
+
+    info = inspect_run(root, run_id)
+    assert info is not None
+    cache = ResultCache(root)
+    if info.kind == "fleet":
+        config = fleet_config_from_payload(info.manifest["config"])
+        with open_fleet_journal(
+            root, config, args.workers, resume=True, run_id=run_id
+        ) as journal:
+            FleetDriver(
+                config, workers=args.workers, journal=journal
+            ).run()
+        return journal
+    if info.kind == "reproduce":
+        names, scale = reproduce_selection_from_payload(
+            info.manifest["config"]
+        )
+        with open_reproduce_journal(
+            root, names, scale, resume=True, run_id=run_id
+        ) as journal:
+            reproduce_all(
+                parallel=args.workers > 1, workers=args.workers,
+                scale=scale, only=names, cache=cache, journal=journal,
+            )
+        return journal
+    spec = spec_from_payload(info.manifest["config"])
+    from repro.sweep import SweepRunner
+
+    with open_sweep_journal(
+        root, spec, resume=True, run_id=run_id
+    ) as journal:
+        SweepRunner(
+            spec, workers=args.workers, cache=cache, journal=journal
+        ).run()
+    return journal
+
+
+def _chaos_kill_parent(args: argparse.Namespace) -> int:
+    """Crash-consistency proof (DESIGN.md §12): SIGKILL the orchestrator
+    mid-run in a subprocess, resume from the journal, and require (a)
+    zero journaled units re-executed and (b) a sealed digest that is
+    bit-identical to an uninterrupted run's.
+    """
+    import shutil
+    import subprocess
+    import tempfile
+
+    from repro.journal.log import KILL_AFTER_ENV
+    from repro.journal.registry import list_runs
+
+    print(f"== chaos {args.target}: kill-parent after record "
+          f"#{args.kill_parent} ==")
+    baseline = _kill_parent_baseline(args)
+    print(f"[baseline: digest {baseline}]")
+    root = tempfile.mkdtemp(prefix="repro-kill-parent-")
+    failures: List[str] = []
+    try:
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = root
+        env[KILL_AFTER_ENV] = str(args.kill_parent)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        command = [sys.executable, "-m", "repro"]
+        command += _kill_parent_command(args)
+        # Output goes to files, not pipes: the orchestrator's pool
+        # workers inherit its stdio, and a captured pipe would make the
+        # harness wait on the orphans instead of just the SIGKILLed
+        # orchestrator itself.
+        out_path = os.path.join(root, "orchestrator.out")
+        err_path = os.path.join(root, "orchestrator.err")
+        with open(out_path, "wb") as out, open(err_path, "wb") as err:
+            proc = subprocess.run(
+                command, env=env, stdout=out, stderr=err, timeout=600,
+            )
+        if proc.returncode == 0:
+            failures.append(
+                f"run completed before record #{args.kill_parent}; "
+                f"lower --kill-parent"
+            )
+            return _kill_parent_verdict(failures)
+        if proc.returncode != -signal.SIGKILL:
+            with open(err_path, "r", encoding="utf-8") as handle:
+                tail = handle.read().strip().splitlines()[-5:]
+            failures.append(
+                f"orchestrator exited {proc.returncode}, expected "
+                f"SIGKILL: {' | '.join(tail)}"
+            )
+            return _kill_parent_verdict(failures)
+        runs = list_runs(root)
+        if len(runs) != 1:
+            failures.append(
+                f"expected exactly one journaled run, found {len(runs)}"
+            )
+            return _kill_parent_verdict(failures)
+        info = runs[0]
+        print(f"[killed: run {info.run_id} — {info.done_units}/"
+              f"{info.total_units} units journaled, {info.status}]")
+        if info.status == "sealed":
+            failures.append("run sealed before the kill landed; "
+                            "lower --kill-parent")
+            return _kill_parent_verdict(failures)
+        journal = _kill_parent_resume(args, root, info.run_id)
+        stats = journal.stats
+        re_executed = info.done_units - stats.replayed
+        print(
+            f"[resumed: units={info.total_units} "
+            f"journaled={info.done_units} replayed={stats.replayed} "
+            f"executed={stats.executed} cached={stats.cached} "
+            f"re-executed={max(re_executed, 0)}]"
+        )
+        if re_executed > 0:
+            failures.append(
+                f"resume re-executed {re_executed} journaled unit(s)"
+            )
+        if not journal.sealed:
+            failures.append("resumed run did not seal")
+        elif journal.sealed_digest != baseline:
+            failures.append(
+                f"resumed digest {journal.sealed_digest} != "
+                f"uninterrupted digest {baseline}"
+            )
+        else:
+            print(f"[resumed: digest {journal.sealed_digest} matches "
+                  f"uninterrupted run]")
+        return _kill_parent_verdict(failures)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _kill_parent_verdict(failures: List[str]) -> int:
+    if failures:
+        for failure in failures:
+            print(f"CHAOS FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("[chaos: OK — orchestrator death survived; resume replayed "
+          "the journal and reproduced the digest]")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience import ChaosPlan, QuarantineLog
 
@@ -737,6 +1017,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         raise SystemExit(
             "repro: error: chaos sweep needs --spec SPEC.toml"
         )
+    if args.kill_parent is not None:
+        if args.kill_parent < 1:
+            raise SystemExit(
+                "repro: error: --kill-parent needs a record count >= 1"
+            )
+        return _chaos_kill_parent(args)
     if args.fault == "corrupt_cache":
         if args.target == "fleet":
             raise SystemExit(
@@ -858,8 +1144,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _raise_terminated(signum, frame) -> None:
+    raise _Terminated()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    # SIGTERM gets the SIGINT treatment (DESIGN.md §12): unwind the
+    # dispatch (supervised_map resets the pool on the way out), release
+    # journal leases via the finally blocks, exit 143 = 128 + SIGTERM.
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _raise_terminated)
+    except ValueError:
+        pass  # not the main thread (embedded use); keep default handling
     try:
         if args.command == "list":
             return _cmd_list()
@@ -875,8 +1173,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cmd_conformance(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "runs":
+            return cmd_runs(args)
         if args.command == "bench":
             return _cmd_bench(args)
+    except LeaseHeldError as error:
+        raise SystemExit(f"repro: error: {error}")
     except ValueError as error:
         # Config validation (bad --nodes/--workers/--fault-* values):
         # present it as a usage error, not a traceback.
@@ -890,6 +1192,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         shutdown_shared_pool()
         print("repro: interrupted", file=sys.stderr)
         return 130
+    except _Terminated:
+        from repro.experiments.driver import shutdown_shared_pool
+
+        shutdown_shared_pool()
+        print("repro: terminated", file=sys.stderr)
+        return 143
+    finally:
+        if previous_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            except ValueError:
+                pass
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -55,11 +55,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache import ResultCache, unit_key
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, experiment_digest
 from repro.fleet.aggregate import FleetAggregate, FleetAggregateBuilder
 from repro.fleet.config import FleetConfig
 from repro.fleet.node import NodeResult
 from repro.fleet.scenario import FleetScenario
+from repro.journal.run import RunJournal
 from repro.resilience.chaos import ChaosPlan
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.pool import SupervisedPool
@@ -73,6 +74,7 @@ __all__ = [
     "FleetDriver",
     "artifact_units",
     "reproduce_all",
+    "runs_digest",
     "shared_pool",
     "shutdown_shared_pool",
 ]
@@ -144,6 +146,12 @@ class FleetDriver:
         quarantine: where poisoned chunks are persisted (optional).
         chaos: fault-injection plan override (tests/harness only; the
             ``REPRO_CHAOS_PLAN`` environment variable otherwise).
+        journal: crash-consistent run ledger (DESIGN.md §12).  A
+            journaled run is always chunk-granular (even ``workers=1``)
+            and uses the *manifest's* frozen chunk plan, replays
+            journaled chunks instead of re-simulating them, records
+            every dispatch/completion durably, and seals with the
+            aggregate digest.
     """
 
     def __init__(
@@ -153,6 +161,7 @@ class FleetDriver:
         resilience: Optional[RetryPolicy] = None,
         quarantine: Optional[QuarantineLog] = None,
         chaos: Optional[ChaosPlan] = None,
+        journal: Optional[RunJournal] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -161,6 +170,7 @@ class FleetDriver:
         self.resilience = resilience
         self.quarantine = quarantine
         self.chaos = chaos
+        self.journal = journal
 
     def shards(self) -> List[Tuple[int, ...]]:
         """Round-robin node-id shards, one per worker.
@@ -210,6 +220,8 @@ class FleetDriver:
         quarantined — the aggregate then reports their node ids as
         explicit ``holes`` instead of the run dying.
         """
+        if self.journal is not None:
+            return self._run_journaled()
         if self.workers == 1:
             return FleetScenario(self.config).run_fleet()
         chunks = self.chunks()
@@ -244,6 +256,73 @@ class FleetDriver:
             )
         )
         return builder.build(holes=holes)
+
+    def _run_journaled(self) -> FleetAggregate:
+        """Journaled fleet run: replay durable chunks, execute the rest.
+
+        The chunk plan comes from the journal's manifest (frozen at the
+        run's first invocation), never re-derived — so a resume under a
+        different ``--workers`` executes exactly the un-journaled chunks
+        of the original plan.  The run seals with the aggregate digest;
+        chunk shape cannot move a node's simulation (DESIGN.md §5), so
+        the resumed digest is bit-identical to an uninterrupted run.
+        """
+        journal = self.journal
+        assert journal is not None
+        plan = journal.manifest["plan"]["chunks"]
+        builder = FleetAggregateBuilder()
+        hole_nodes: List[int] = []
+        pending: List[Tuple[str, Any]] = []
+        nodes_by_unit: Dict[str, Tuple[int, ...]] = {}
+        for unit_id in journal.units:
+            chunk = tuple(int(n) for n in plan[unit_id])
+            nodes_by_unit[unit_id] = chunk
+            if journal.is_done(unit_id):
+                builder.add_many(journal.replayed[unit_id])
+            elif unit_id in journal.replayed_quarantined:
+                hole_nodes.extend(chunk)
+            else:
+                pending.append((unit_id, (self.config, chunk)))
+
+        def handle_result(unit_id: str, results: List[NodeResult]) -> None:
+            journal.record_done(unit_id, results, 0.0)
+            builder.add_many(results)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                for unit_id, payload in pending:
+                    journal.record_dispatched(unit_id, 0)
+                    started = time.perf_counter()
+                    results = _run_shard(payload)
+                    journal.record_done(
+                        unit_id, results, time.perf_counter() - started
+                    )
+                    builder.add_many(results)
+            else:
+                outcome = supervised_map(
+                    _run_shard,
+                    pending,
+                    workers=self.workers,
+                    pool_factory=shared_pool,
+                    pool_shutdown=shutdown_shared_pool,
+                    policy=self.resilience,
+                    quarantine=self.quarantine,
+                    chaos=self.chaos,
+                    on_dispatch=journal.record_dispatched,
+                    on_result=handle_result,
+                    on_quarantine=lambda record: journal.record_quarantined(
+                        record.unit_id, record.kind
+                    ),
+                    context="fleet",
+                )
+                hole_nodes.extend(
+                    node_id
+                    for unit_id in outcome.holes
+                    for node_id in nodes_by_unit[unit_id]
+                )
+        aggregate = builder.build(holes=tuple(sorted(hole_nodes)))
+        journal.seal(aggregate.digest())
+        return aggregate
 
 
 # -- reproduce-all ----------------------------------------------------------
@@ -500,6 +579,30 @@ def _assemble_artifact(
     return ArtifactRun(name, result, wall_seconds)
 
 
+def runs_digest(runs: Sequence[ArtifactRun]) -> str:
+    """One digest over a whole reproduce pass: names, row digests, holes.
+
+    Canonical (sorted by artifact name) and wall-independent, so an
+    interrupted-then-resumed pass seals with the same digest as an
+    uninterrupted one iff every artifact's rows agree bit-for-bit.
+    """
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        [
+            {
+                "name": run.name,
+                "digest": experiment_digest(run.result),
+                "holes": list(run.holes),
+            }
+            for run in sorted(runs, key=lambda r: r.name)
+        ],
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def reproduce_all(
     parallel: bool = False,
     workers: Optional[int] = None,
@@ -511,6 +614,7 @@ def reproduce_all(
     resilience: Optional[RetryPolicy] = None,
     quarantine: Optional[QuarantineLog] = None,
     chaos: Optional[ChaosPlan] = None,
+    journal: Optional[RunJournal] = None,
 ) -> List[ArtifactRun]:
     """Regenerate every table and figure, serially or sharded.
 
@@ -536,6 +640,11 @@ def reproduce_all(
             (default :class:`RetryPolicy`(); DESIGN.md §11).
         quarantine: where poisoned units are persisted (optional).
         chaos: fault-injection plan override (tests/harness only).
+        journal: crash-consistent run ledger (DESIGN.md §12).  A
+            journaled pass is always series-granular (``granularity``
+            must stay ``"series"``): journaled units replay instead of
+            executing (or probing the cache), completions are recorded
+            durably, and the pass seals with :func:`runs_digest`.
 
     Returns:
         Runs in canonical (paper) order regardless of completion order.
@@ -545,11 +654,25 @@ def reproduce_all(
     """
     if granularity not in ("series", "artifact"):
         raise ValueError(f"unknown granularity {granularity!r}")
+    if journal is not None and granularity != "series":
+        raise ValueError(
+            "journaled reproduce passes are series-granular; "
+            "use granularity='series' or journal=None"
+        )
     names = [n for n in ARTIFACTS if only is None or n in only]
     unknown = set(only or ()) - set(ARTIFACTS)
     if unknown:
         raise ValueError(f"unknown artifacts: {sorted(unknown)}")
     _load_recorded_walls(cache)
+    if journal is not None:
+        # Journaled passes always go through the series-granular path —
+        # the journal's unit list *is* the series expansion, and the
+        # inline mode keeps serial passes pool-free.
+        return _reproduce_series_granular(
+            names, workers, scale, on_result, cache,
+            resilience, quarantine, chaos,
+            journal=journal, inline=not parallel,
+        )
     # Series granularity can shard a *single* artifact (fig7 alone is
     # nine units), so the serial fallback keys on the work-unit count,
     # not the artifact count.
@@ -690,8 +813,16 @@ def _reproduce_series_granular(
     resilience: Optional[RetryPolicy] = None,
     quarantine: Optional[QuarantineLog] = None,
     chaos: Optional[ChaosPlan] = None,
+    journal: Optional[RunJournal] = None,
+    inline: bool = False,
 ) -> List[ArtifactRun]:
-    """Sub-artifact sharding: one (artifact, series) scenario per unit."""
+    """Sub-artifact sharding: one (artifact, series) scenario per unit.
+
+    With a ``journal``, replayed units join their artifact before the
+    cache is even probed, every completion (cache hits included) is
+    recorded durably, and ``inline=True`` executes the remaining units
+    serially in-process — the journaled serial mode, pool-free.
+    """
     units_by_artifact = {name: artifact_units(name, scale) for name in names}
     collected: Dict[str, Dict[Optional[str], Any]] = {n: {} for n in names}
     walls: Dict[str, float] = {n: 0.0 for n in names}
@@ -700,12 +831,24 @@ def _reproduce_series_granular(
     }
     holes_by_artifact: Dict[str, List[str]] = {n: [] for n in names}
     executed_walls: Dict[str, float] = {}
-    # Cache probe: hit units join their artifact immediately; only the
-    # misses are dispatched.  A fully-warm pass therefore never touches
-    # the pool at all.
+    # Journal replay first, then the cache probe: hit units join their
+    # artifact immediately; only the misses are dispatched.  A fully-
+    # warm (or fully-journaled) pass therefore never touches the pool.
     payloads: List[Tuple[str, Optional[str], float]] = []
     for name in names:
         for _name, series in units_by_artifact[name]:
+            unit_id = _wall_key(name, series, scale)
+            if journal is not None and journal.is_done(unit_id):
+                collected[name][series] = journal.replayed[unit_id]
+                remaining[name] -= 1
+                continue
+            if (
+                journal is not None
+                and unit_id in journal.replayed_quarantined
+            ):
+                holes_by_artifact[name].append(unit_id)
+                remaining[name] -= 1
+                continue
             payload = (
                 _CACHE_MISS if cache is None
                 else cache.get(_cache_key(name, series, scale), _CACHE_MISS)
@@ -715,6 +858,10 @@ def _reproduce_series_granular(
             else:
                 collected[name][series] = payload
                 remaining[name] -= 1
+                if journal is not None:
+                    journal.record_done(
+                        unit_id, payload, 0.0, executed=False
+                    )
     # Longest-first dispatch keeps the 1500-sim-second fig7 scenarios
     # from landing last and re-creating the straggler tail the
     # decomposition exists to remove.  Costs are measured unit walls
@@ -760,12 +907,17 @@ def _reproduce_series_granular(
     if payloads:
 
         def handle_result(
-            _unit_id: str,
+            unit_id: str,
             unit_result: Tuple[str, Optional[str], Any, float],
         ) -> None:
             name, series, payload, wall = unit_result
             if cache is not None:
                 cache.put(_cache_key(name, series, scale), payload)
+            if journal is not None:
+                # After the cache write: a kill between the two leaves
+                # a cached-but-unjournaled unit, which a resume simply
+                # re-loads from the cache (never re-executes twice).
+                journal.record_done(unit_id, payload, wall)
             _record_wall(name, series, scale, wall)
             executed_walls[_wall_key(name, series, scale)] = wall
             collected[name][series] = payload
@@ -781,6 +933,8 @@ def _reproduce_series_granular(
         }
 
         def handle_quarantine(record) -> None:
+            if journal is not None:
+                journal.record_quarantined(record.unit_id, record.kind)
             name = unit_coords[record.unit_id]
             holes_by_artifact[name].append(record.unit_id)
             remaining[name] -= 1
@@ -789,26 +943,46 @@ def _reproduce_series_granular(
             emit_ready()
 
         try:
-            supervised_map(
-                _run_series_unit,
-                [
-                    (_wall_key(name, series, scale), (name, series, scale))
-                    for name, series, _scale in payloads
-                ],
-                workers=min(workers or os.cpu_count() or 1, len(payloads)),
-                pool_factory=shared_pool,
-                pool_shutdown=shutdown_shared_pool,
-                policy=resilience,
-                quarantine=quarantine,
-                chaos=chaos,
-                on_result=handle_result,
-                on_quarantine=handle_quarantine,
-                context="reproduce",
-            )
+            if inline:
+                for name, series, _scale in payloads:
+                    unit_id = _wall_key(name, series, scale)
+                    if journal is not None:
+                        journal.record_dispatched(unit_id, 0)
+                    handle_result(
+                        unit_id, _run_series_unit((name, series, scale))
+                    )
+            else:
+                supervised_map(
+                    _run_series_unit,
+                    [
+                        (
+                            _wall_key(name, series, scale),
+                            (name, series, scale),
+                        )
+                        for name, series, _scale in payloads
+                    ],
+                    workers=min(
+                        workers or os.cpu_count() or 1, len(payloads)
+                    ),
+                    pool_factory=shared_pool,
+                    pool_shutdown=shutdown_shared_pool,
+                    policy=resilience,
+                    quarantine=quarantine,
+                    chaos=chaos,
+                    on_dispatch=(
+                        journal.record_dispatched
+                        if journal is not None else None
+                    ),
+                    on_result=handle_result,
+                    on_quarantine=handle_quarantine,
+                    context="reproduce",
+                )
         except BaseException:
             # Completed units are already cached; keep their walls too
             # (supervised_map has already reset the shared pool).
             _persist_recorded_walls(cache, executed_walls)
             raise
     _persist_recorded_walls(cache, executed_walls)
+    if journal is not None:
+        journal.seal(runs_digest(runs))
     return runs

@@ -1,0 +1,41 @@
+"""Crash-consistent run journal (DESIGN.md §12).
+
+A write-ahead ledger that makes every long-running pipeline — fleet
+runs, ``reproduce-all`` passes, robustness campaigns — resumable after
+the orchestrator dies at any instant, with bit-identical final
+digests:
+
+* :mod:`repro.journal.log` — the fsync'd, length-prefixed record
+  stream with torn-tail-tolerant replay;
+* :mod:`repro.journal.lease` — heartbeat leases (one orchestrator per
+  run) and the :class:`FileLock` mutex reused by the quarantine log;
+* :mod:`repro.journal.run` — the :class:`RunJournal`: atomic manifest,
+  durable unit payloads, idempotent replay, deterministic run ids;
+* :mod:`repro.journal.pipelines` — per-pipeline config payloads and
+  journal openers (unit lists expanded exactly as the pipeline will);
+* :mod:`repro.journal.registry` — read-only run discovery for
+  ``repro runs list|show``;
+* :mod:`repro.journal.cli` — the ``repro runs`` subcommand and
+  ``resume_run``.
+"""
+
+from repro.journal.lease import (
+    FileLock,
+    Lease,
+    LeaseHeldError,
+    LeaseLostError,
+)
+from repro.journal.log import RecordLog, replay_records
+from repro.journal.run import RunJournal, derive_run_id, open_run
+
+__all__ = [
+    "FileLock",
+    "Lease",
+    "LeaseHeldError",
+    "LeaseLostError",
+    "RecordLog",
+    "RunJournal",
+    "derive_run_id",
+    "open_run",
+    "replay_records",
+]

@@ -1,0 +1,240 @@
+"""``repro runs``: list, inspect, and resume journaled runs.
+
+Subcommands::
+
+    repro runs list [--cache-dir PATH]
+    repro runs show RUN_ID [--cache-dir PATH]
+    repro runs resume RUN_ID [--workers N] [--cache-dir PATH]
+
+``resume`` rebuilds the pipeline from the run's manifest alone (fleet
+config, artifact selection, or campaign spec — whatever the original
+command expanded) and re-opens the journal in resume mode: every
+journaled unit replays, only un-journaled units execute, and the run
+seals with a digest bit-identical to an uninterrupted run (the chaos
+harness's ``--kill-parent`` mode proves exactly this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Optional
+
+from repro.cache import ResultCache, default_cache_dir
+from repro.journal.registry import RunInfo, inspect_run, list_runs
+from repro.journal.run import RunJournal
+
+__all__ = [
+    "add_runs_parser",
+    "cmd_runs",
+    "journal_status_line",
+    "resume_run",
+]
+
+
+def journal_status_line(journal: RunJournal) -> str:
+    """The ``[journal: ...]`` summary the pipelines print.
+
+    Deliberately not ``[cache: ...]`` — the sweep CLI contract promises
+    no cache line under ``--no-cache``, and the journal is not the
+    result cache.
+    """
+    stats = journal.stats
+    state = "sealed" if journal.sealed else "open"
+    return (
+        f"[journal: run {journal.run_id} units={len(journal.units)} "
+        f"replayed={stats.replayed} executed={stats.executed} "
+        f"cached={stats.cached} quarantined={stats.quarantined} {state}]"
+    )
+
+
+def add_runs_parser(sub: argparse._SubParsersAction) -> None:
+    runs = sub.add_parser(
+        "runs",
+        help="list, inspect, and resume journaled runs (the crash-"
+             "consistent run ledger under <cache>/runs/)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="every journaled run under the cache root"
+    )
+    runs_list.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="cache root holding the run journals (default: "
+             "$REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    runs_show = runs_sub.add_parser(
+        "show", help="one run's manifest, progress, and status"
+    )
+    runs_show.add_argument("run_id", metavar="RUN_ID")
+    runs_show.add_argument("--cache-dir", metavar="PATH", default=None)
+    runs_resume = runs_sub.add_parser(
+        "resume",
+        help="re-open an interrupted run: replay journaled units, "
+             "execute only the rest, seal",
+    )
+    runs_resume.add_argument("run_id", metavar="RUN_ID")
+    runs_resume.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for the remaining units (default: the fleet "
+             "manifest's worker count, else 1)",
+    )
+    runs_resume.add_argument("--cache-dir", metavar="PATH", default=None)
+    runs_resume.add_argument(
+        "--no-cache", dest="cache", action="store_false", default=True,
+        help="do not consult the result cache for remaining units",
+    )
+
+
+def _cache_root(args: argparse.Namespace) -> str:
+    return args.cache_dir or default_cache_dir()
+
+
+def _render_info(info: RunInfo) -> str:
+    age = ""
+    if info.created_at:
+        age = f" age={max(0.0, time.time() - info.created_at):.0f}s"
+    return (
+        f"{info.run_id}  {info.kind:<9} {info.status:<11} "
+        f"{info.done_units}/{info.total_units} done "
+        f"({info.executed_units} executed, {info.cached_units} cached, "
+        f"{info.quarantined_units} quarantined){age}"
+    )
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    root = _cache_root(args)
+    runs = list_runs(root)
+    if not runs:
+        print(f"no journaled runs under {root}")
+        return 0
+    print(f"journaled runs under {root}:")
+    for info in runs:
+        print(f"  {_render_info(info)}")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    root = _cache_root(args)
+    info = inspect_run(root, args.run_id)
+    if info is None:
+        print(f"repro: error: no journaled run {args.run_id!r} "
+              f"under {root}")
+        return 1
+    print(f"run {info.run_id} ({info.kind}) — {info.status}")
+    print(f"  directory: {info.directory}")
+    print(
+        f"  units: {info.done_units}/{info.total_units} done "
+        f"({info.executed_units} executed, {info.cached_units} cached, "
+        f"{info.quarantined_units} quarantined)"
+    )
+    if info.sealed_digest is not None:
+        print(f"  sealed digest: {info.sealed_digest}")
+    plan = info.manifest.get("plan", {})
+    if plan:
+        keys = ", ".join(sorted(plan))
+        print(f"  plan: {keys}")
+    config = info.manifest.get("config", {})
+    for key in sorted(config):
+        print(f"  config.{key} = {config[key]!r}")
+    return 0
+
+
+def resume_run(
+    cache_root: str,
+    run_id: str,
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+) -> int:
+    """Resume one journaled run by id; prints the pipeline's report.
+
+    Returns a process exit code (0 on success, 1 for unknown runs).
+    """
+    from repro.journal.pipelines import (
+        fleet_config_from_payload,
+        open_fleet_journal,
+        open_reproduce_journal,
+        open_sweep_journal,
+        reproduce_selection_from_payload,
+        spec_from_payload,
+    )
+
+    info = inspect_run(cache_root, run_id)
+    if info is None:
+        print(f"repro: error: no journaled run {run_id!r} under "
+              f"{cache_root}")
+        return 1
+    cache = ResultCache(cache_root) if use_cache else None
+    if info.kind == "fleet":
+        config = fleet_config_from_payload(info.manifest["config"])
+        plan_workers = int(
+            info.manifest.get("plan", {}).get("workers", 1)
+        )
+        effective = workers if workers is not None else plan_workers
+        from repro.experiments.driver import FleetDriver
+
+        with open_fleet_journal(
+            cache_root, config, effective, resume=True, run_id=run_id
+        ) as journal:
+            aggregate = FleetDriver(
+                config, workers=effective, journal=journal
+            ).run()
+            print(aggregate.render())
+            print(journal_status_line(journal))
+        return 0
+    if info.kind == "reproduce":
+        names, scale = reproduce_selection_from_payload(
+            info.manifest["config"]
+        )
+        from repro.experiments.common import experiment_digest
+        from repro.experiments.driver import reproduce_all
+
+        effective = workers if workers is not None else 1
+        with open_reproduce_journal(
+            cache_root, names, scale, resume=True, run_id=run_id
+        ) as journal:
+            runs = reproduce_all(
+                parallel=effective > 1,
+                workers=effective,
+                scale=scale,
+                only=names,
+                cache=cache,
+                journal=journal,
+            )
+            for run in runs:
+                print(
+                    f"[digest {run.result.name} "
+                    f"{experiment_digest(run.result)}]"
+                )
+            print(journal_status_line(journal))
+        return 0
+    if info.kind == "sweep":
+        spec = spec_from_payload(info.manifest["config"])
+        from repro.sweep import SweepRunner
+
+        effective = workers if workers is not None else 1
+        with open_sweep_journal(
+            cache_root, spec, resume=True, run_id=run_id
+        ) as journal:
+            report = SweepRunner(
+                spec, workers=effective, cache=cache, journal=journal
+            ).run()
+            print(report.render())
+            print(journal_status_line(journal))
+        return 0
+    print(f"repro: error: run {run_id} has unknown kind {info.kind!r}")
+    return 1
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    if args.runs_command == "list":
+        return _cmd_runs_list(args)
+    if args.runs_command == "show":
+        return _cmd_runs_show(args)
+    assert args.runs_command == "resume"
+    return resume_run(
+        _cache_root(args),
+        args.run_id,
+        workers=args.workers,
+        use_cache=args.cache,
+    )

@@ -1,0 +1,266 @@
+"""Run ownership: heartbeat leases and a tiny exclusive file lock.
+
+Two orchestrators sharing one cache root must never both own the same
+run journal — concurrent appends would interleave records from two
+dispatch loops and the replay would see units "complete" that the
+surviving orchestrator never verified.  Ownership is a **lease file**
+next to the run directory:
+
+* acquisition is ``O_CREAT | O_EXCL`` — the filesystem arbitrates, no
+  daemon required;
+* the owner renews the lease (rewrites its expiry) from a heartbeat
+  thread well inside the TTL, so a *live* owner can never look stale;
+* a lease is **stolen** when it has expired, or immediately when its
+  owner is a dead pid on the same host (the common CI case: the chaos
+  harness SIGKILLs the orchestrator and resumes right away).  The
+  steal replaces the file atomically with a fresh token and verifies
+  its own token read-back, so two simultaneous stealers resolve to
+  exactly one winner.
+
+:class:`FileLock` reuses the same ``O_EXCL`` + stale-breaking
+primitive as a short-critical-section mutex (no heartbeat); the
+quarantine log's read-merge-replace uses it to close its lost-update
+race (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["FileLock", "Lease", "LeaseHeldError", "LeaseLostError"]
+
+
+class LeaseHeldError(RuntimeError):
+    """The run is owned by a live (non-stealable) orchestrator."""
+
+
+class LeaseLostError(RuntimeError):
+    """Our lease token vanished — another orchestrator stole the run."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Liveness of a pid on this host (signal 0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover — exists, other uid
+        return True
+    return True
+
+
+def _read_state(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _stale(state: Optional[Dict[str, Any]], now: float) -> bool:
+    """A lease is stealable when expired or owned by a dead local pid.
+
+    An unreadable/corrupt lease file (torn write of the lease itself)
+    is treated as stale — the steal path's atomic replace + read-back
+    arbitrates racing claimants either way.
+    """
+    if state is None:
+        return True
+    if float(state.get("expires_at", 0.0)) <= now:
+        return True
+    if state.get("host") == socket.gethostname():
+        return not _pid_alive(int(state.get("pid", -1)))
+    return False
+
+
+@dataclass
+class Lease:
+    """An owned, renewable claim on one run journal.
+
+    Args:
+        path: lease file location (sibling of the run directory, so a
+            fresh-run wipe of the directory cannot destroy a live
+            claim).
+        ttl_s: expiry horizon written at every renewal.  Owners renew
+            from a heartbeat at ``ttl_s / 4``, so only a dead or
+            wedged owner ever expires.
+    """
+
+    path: str
+    ttl_s: float = 30.0
+    token: str = field(default_factory=lambda: uuid.uuid4().hex)
+    _held: bool = field(init=False, default=False)
+
+    def _state(self) -> Dict[str, Any]:
+        return {
+            "token": self.token,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "expires_at": time.time() + self.ttl_s,
+        }
+
+    def _write_atomic(self) -> None:
+        directory = os.path.dirname(self.path) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".lease-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._state(), handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _try_claim(self) -> bool:
+        """Exclusively create the lease file *with* our state in it.
+
+        The claim must appear atomically with its content: creating an
+        empty file first (``O_CREAT|O_EXCL`` then write) opens a window
+        where a racing claimant reads the empty file, deems it
+        corrupt-therefore-stale, and steals a lock that is actively
+        held.  A hard link from a fully-written temp file is an
+        exclusive create that carries the state with it.
+        """
+        directory = os.path.dirname(self.path) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".lease-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self._state(), handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            try:
+                os.link(tmp, self.path)
+            except FileExistsError:
+                return False
+            return True
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover — tmp already gone
+                pass
+
+    def acquire(self) -> "Lease":
+        """Claim the lease; steal a stale one; raise if held live.
+
+        Stealing is a two-step conditional take, never a blind
+        overwrite: first ``os.rename`` the stale file aside (exactly
+        one of any number of racing stealers wins the rename — the
+        rest see ``FileNotFoundError``), then re-race the exclusive
+        create.  An unconditional ``os.replace`` here would clobber a
+        *fresh* claim made between the staleness read and the steal,
+        leaving two processes both believing they own the lease.
+
+        Raises:
+            LeaseHeldError: a live orchestrator owns the run.
+        """
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        for _ in range(16):  # claim/steal races are transient
+            if self._try_claim():
+                self._held = True
+                return self
+            state = _read_state(self.path)
+            if not _stale(state, time.time()):
+                owner = "unknown owner"
+                if state is not None:
+                    owner = (
+                        f"pid {state.get('pid')} on {state.get('host')}"
+                    )
+                raise LeaseHeldError(
+                    f"run lease {self.path} is held by {owner}"
+                )
+            aside = f"{self.path}.stale-{self.token}"
+            try:
+                os.rename(self.path, aside)
+            except FileNotFoundError:
+                continue  # released or stolen aside: re-race the create
+            try:
+                os.unlink(aside)
+            except OSError:  # pragma: no cover — nothing to clean
+                pass
+        raise LeaseHeldError(  # pragma: no cover — pathological churn
+            f"run lease {self.path} could not be claimed under "
+            "contention"
+        )
+
+    def renew(self) -> None:
+        """Heartbeat: push the expiry forward; detect theft.
+
+        Raises:
+            LeaseLostError: the file no longer carries our token.
+        """
+        if not self._held:
+            raise LeaseLostError(f"lease {self.path} is not held")
+        state = _read_state(self.path)
+        if state is None or state.get("token") != self.token:
+            self._held = False
+            raise LeaseLostError(
+                f"lease {self.path} no longer carries our token"
+            )
+        self._write_atomic()
+
+    def release(self) -> None:
+        """Drop the claim (idempotent; never releases a stolen file)."""
+        if not self._held:
+            return
+        self._held = False
+        state = _read_state(self.path)
+        if state is not None and state.get("token") == self.token:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+
+@dataclass
+class FileLock:
+    """Short-critical-section mutex on the lease primitive.
+
+    ``with FileLock(path):`` spins on ``O_CREAT | O_EXCL`` with a tiny
+    sleep; a lock older than ``stale_s`` **or** owned by a dead local
+    pid is broken via the same atomic-replace + token read-back steal.
+    Intended for sub-second sections (quarantine log merges); not a
+    fairness-providing lock.
+    """
+
+    path: str
+    stale_s: float = 10.0
+    poll_s: float = 0.005
+    timeout_s: float = 30.0
+    _lease: Optional[Lease] = field(init=False, default=None)
+
+    def __enter__(self) -> "FileLock":
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            lease = Lease(self.path, ttl_s=self.stale_s)
+            try:
+                self._lease = lease.acquire()
+                return self
+            except LeaseHeldError:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"could not acquire lock {self.path} within "
+                        f"{self.timeout_s}s"
+                    ) from None
+                time.sleep(self.poll_s)
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._lease is not None:
+            self._lease.release()
+            self._lease = None

@@ -1,0 +1,179 @@
+"""The append-only record log: fsync'd frames, torn-tail replay.
+
+The log is the journal's intent stream.  Every record is one framed
+JSON object::
+
+    >I payload length | >I crc32(payload) | payload bytes
+
+Appends are flushed and ``fsync``'d before :meth:`RecordLog.append`
+returns, so a record the orchestrator *observed as written* survives
+any subsequent SIGKILL.  The write itself is **not** atomic — a kill
+mid-``write`` leaves a torn final frame — so replay applies the
+classic write-ahead rule: parse frames front to back, stop at the
+first incomplete or checksum-failing frame, and ignore everything from
+there on.  A torn tail therefore costs at most the one record that was
+being written, never a parse error.  Re-opening for append truncates
+the file back to the last valid frame boundary so the torn bytes can
+never prefix a fresh record.
+
+Record kinds (DESIGN.md §12): ``UNIT_DISPATCHED``, ``UNIT_DONE``,
+``UNIT_QUARANTINED``, ``RUN_SEALED``.
+
+Kill-after hook: the chaos harness's ``--kill-parent`` mode needs a
+*seeded point* at which the orchestrator dies.  Wall-clock points are
+useless here (a full 8-node fleet run takes ~0.1 s), so the point is
+**count-based**: when ``REPRO_JOURNAL_KILL_AFTER=N`` is set, the
+process SIGKILLs itself immediately after the Nth record append across
+every log in the process — after the fsync, so the journal state at
+death is exactly N durable records.  Tests swap the kill action for an
+exception to exercise the same path in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "KILL_AFTER_ENV",
+    "RECORD_KINDS",
+    "RecordLog",
+    "replay_records",
+    "set_kill_action",
+]
+
+_FRAME = struct.Struct(">II")  # payload length, crc32(payload)
+
+RECORD_KINDS = (
+    "UNIT_DISPATCHED",
+    "UNIT_DONE",
+    "UNIT_QUARANTINED",
+    "RUN_SEALED",
+)
+
+#: Count-based seeded kill point for the parent-kill chaos mode.
+KILL_AFTER_ENV = "REPRO_JOURNAL_KILL_AFTER"
+
+_appends_this_process = 0
+
+
+def _default_kill_action() -> None:  # pragma: no cover — kills the process
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+_kill_action: Callable[[], None] = _default_kill_action
+
+
+def set_kill_action(action: Optional[Callable[[], None]]) -> None:
+    """Swap the kill-after action (tests inject a raise; None resets).
+
+    Also resets the process-wide append counter, so each configured
+    kill point counts from the swap.
+    """
+    global _kill_action, _appends_this_process
+    _kill_action = action if action is not None else _default_kill_action
+    _appends_this_process = 0
+
+
+def _maybe_kill_after_append() -> None:
+    global _appends_this_process
+    raw = os.environ.get(KILL_AFTER_ENV)
+    if raw is None:
+        return
+    try:
+        threshold = int(raw)
+    except ValueError:
+        return
+    _appends_this_process += 1
+    if _appends_this_process >= threshold:
+        _kill_action()
+
+
+def replay_records(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse the log front to back; stop at the first torn frame.
+
+    Returns:
+        ``(records, valid_length)``: every fully-written record in
+        append order, and the byte offset of the last valid frame
+        boundary.  A missing file replays as ``([], 0)``.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    while offset + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack_from(data, offset)
+        end = offset + _FRAME.size + length
+        if end > len(data):
+            break  # torn tail: header written, payload incomplete
+        payload = data[offset + _FRAME.size:end]
+        if zlib.crc32(payload) != crc:
+            break  # torn/corrupt frame: stop, ignore the rest
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            break
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+        offset = end
+    return records, offset
+
+
+@dataclass
+class RecordLog:
+    """One run's append-only record stream.
+
+    Opening for append replays first and truncates any torn tail, so
+    the file always ends on a frame boundary before new records land.
+    """
+
+    path: str
+    _handle: Any = field(init=False, default=None, repr=False)
+    _records: List[Dict[str, Any]] = field(
+        init=False, default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self._records, valid = replay_records(self.path)
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self._handle = open(self.path, "ab")
+        if self._handle.tell() > valid:
+            self._handle.truncate(valid)
+            self._handle.seek(valid)
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """Every durable record, replay order (replayed + appended)."""
+        return list(self._records)
+
+    def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Write one record durably; returns it.
+
+        The record is on disk (flushed + fsync'd) when this returns —
+        the property every resume guarantee rests on.
+        """
+        if kind not in RECORD_KINDS:
+            raise ValueError(f"unknown record kind {kind!r}")
+        record = {"kind": kind, **fields}
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        self._handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        self._handle.write(payload)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._records.append(record)
+        _maybe_kill_after_append()
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -1,0 +1,227 @@
+"""Journal bindings for the three long-running pipelines.
+
+Each pipeline gets a **config payload** (the exact dict its
+deterministic ``run_id`` hashes over and its manifest records) and an
+``open_*_journal`` helper that expands the run's unit list the same way
+the pipeline itself will.  The payload is also sufficient to
+*reconstruct* the pipeline — ``repro runs resume <run_id>`` rebuilds
+the fleet config / artifact selection / campaign spec from the manifest
+alone, so a resume needs no memory of the original command line.
+
+Unit identities must match the pipeline's own ids bit-for-bit:
+
+* fleet: the chunk ids of :meth:`FleetDriver.chunks` (the chunk plan is
+  frozen into the manifest, so a resume under a different ``--workers``
+  replays the *original* chunking — chunk shape cannot move results,
+  but the journal's unit list must stay stable);
+* reproduce: ``artifact/series@scale`` unit keys
+  (:func:`repro.experiments.driver._wall_key`);
+* sweep: :meth:`SweepUnit.unit_id` in canonical expansion order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.driver import (
+    ARTIFACTS,
+    FleetDriver,
+    artifact_units,
+    _wall_key,
+)
+from repro.fleet.config import FaultPlan, FleetConfig
+from repro.journal.run import RunJournal, open_run
+from repro.sweep.spec import CampaignSpec
+
+__all__ = [
+    "fleet_config_from_payload",
+    "fleet_payload",
+    "open_fleet_journal",
+    "open_reproduce_journal",
+    "open_sweep_journal",
+    "reproduce_payload",
+    "reproduce_selection_from_payload",
+    "spec_from_payload",
+    "sweep_payload",
+]
+
+
+# -- fleet -------------------------------------------------------------------
+
+
+def fleet_payload(config: FleetConfig) -> Dict[str, Any]:
+    fault = None
+    if config.fault is not None:
+        fault = {
+            "racks": list(config.fault.racks),
+            "start_s": config.fault.start_s,
+            "duration_s": config.fault.duration_s,
+            "probability": config.fault.probability,
+            "kind": config.fault.kind,
+        }
+    return {
+        "n_nodes": config.n_nodes,
+        "agent": config.agent,
+        "seed": config.seed,
+        "duration_s": config.duration_s,
+        "rack_size": config.rack_size,
+        "fault": fault,
+    }
+
+
+def fleet_config_from_payload(payload: Dict[str, Any]) -> FleetConfig:
+    fault = payload.get("fault")
+    plan = None
+    if fault is not None:
+        plan = FaultPlan(
+            racks=tuple(int(r) for r in fault["racks"]),
+            start_s=int(fault["start_s"]),
+            duration_s=int(fault["duration_s"]),
+            probability=float(fault["probability"]),
+            kind=str(fault["kind"]),
+        )
+    return FleetConfig(
+        n_nodes=int(payload["n_nodes"]),
+        agent=str(payload["agent"]),
+        seed=int(payload["seed"]),
+        duration_s=int(payload["duration_s"]),
+        rack_size=int(payload["rack_size"]),
+        fault=plan,
+    )
+
+
+def open_fleet_journal(
+    cache_root: str,
+    config: FleetConfig,
+    workers: int,
+    *,
+    resume: bool = False,
+    run_id: Optional[str] = None,
+    lease_ttl_s: float = 30.0,
+) -> RunJournal:
+    """Journal for one fleet run; the chunk plan freezes in the manifest.
+
+    The run id hashes the fleet *config* only (not ``workers``): the
+    same fleet maps to the same journal no matter the pool size, and a
+    resume adopts the manifest's chunk plan (``verify_units=False``)
+    rather than re-deriving chunks from the current worker count.
+    """
+    driver = FleetDriver(config, workers=workers)
+    chunks = driver.chunks()
+    unit_ids: List[str] = []
+    plan_chunks: Dict[str, List[int]] = {}
+    for index, chunk in enumerate(chunks):
+        unit_id = f"chunk{index:03d}(n{chunk[0]}+{len(chunk)})"
+        unit_ids.append(unit_id)
+        plan_chunks[unit_id] = list(chunk)
+    return open_run(
+        cache_root,
+        kind="fleet",
+        config=fleet_payload(config),
+        plan={"chunks": plan_chunks, "workers": driver.workers},
+        units=unit_ids,
+        resume=resume,
+        run_id=run_id,
+        verify_units=False,
+        lease_ttl_s=lease_ttl_s,
+    )
+
+
+# -- reproduce-all -----------------------------------------------------------
+
+
+def reproduce_payload(
+    names: Sequence[str], scale: float
+) -> Dict[str, Any]:
+    return {
+        "artifacts": list(names),
+        "scale": float(scale),
+        "granularity": "series",
+    }
+
+
+def reproduce_selection_from_payload(
+    payload: Dict[str, Any],
+) -> "tuple[List[str], float]":
+    names = [str(n) for n in payload["artifacts"]]
+    return names, float(payload["scale"])
+
+
+def open_reproduce_journal(
+    cache_root: str,
+    only: Optional[Sequence[str]],
+    scale: float,
+    *,
+    resume: bool = False,
+    run_id: Optional[str] = None,
+    lease_ttl_s: float = 30.0,
+) -> RunJournal:
+    names = [n for n in ARTIFACTS if only is None or n in only]
+    unknown = set(only or ()) - set(ARTIFACTS)
+    if unknown:
+        raise ValueError(f"unknown artifacts: {sorted(unknown)}")
+    unit_ids = [
+        _wall_key(name, series, scale)
+        for name in names
+        for _name, series in artifact_units(name, scale)
+    ]
+    return open_run(
+        cache_root,
+        kind="reproduce",
+        config=reproduce_payload(names, scale),
+        plan={"artifacts": list(names)},
+        units=unit_ids,
+        resume=resume,
+        run_id=run_id,
+        lease_ttl_s=lease_ttl_s,
+    )
+
+
+# -- sweep -------------------------------------------------------------------
+
+
+def sweep_payload(spec: CampaignSpec) -> Dict[str, Any]:
+    """The :meth:`CampaignSpec.from_dict`-shaped payload of a spec."""
+    return {
+        "name": spec.name,
+        "agents": list(spec.agents),
+        "scales": list(spec.scales),
+        "seeds": list(spec.seeds),
+        "duration_s": spec.duration_s,
+        "rack_size": spec.rack_size,
+        "fault": [
+            {
+                "kind": axis.kind,
+                "intensities": list(axis.intensities),
+                "start_s": axis.start_s,
+                "duration_s": axis.duration_s,
+                "racks": list(axis.racks),
+            }
+            for axis in spec.faults
+        ],
+    }
+
+
+def spec_from_payload(payload: Dict[str, Any]) -> CampaignSpec:
+    return CampaignSpec.from_dict(payload)
+
+
+def open_sweep_journal(
+    cache_root: str,
+    spec: CampaignSpec,
+    *,
+    resume: bool = False,
+    run_id: Optional[str] = None,
+    lease_ttl_s: float = 30.0,
+) -> RunJournal:
+    unit_ids = [unit.unit_id() for unit in spec.expand()]
+    return open_run(
+        cache_root,
+        kind="sweep",
+        config=sweep_payload(spec),
+        plan={"campaign": spec.name},
+        units=unit_ids,
+        resume=resume,
+        run_id=run_id,
+        lease_ttl_s=lease_ttl_s,
+    )

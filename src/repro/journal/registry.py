@@ -1,0 +1,109 @@
+"""Run discovery: scan the journal area and classify each run.
+
+Read-only — the registry never takes a lease, so ``repro runs list``
+can inspect a cache root while a live orchestrator works in it.  A
+run's status derives from durable state alone:
+
+* ``sealed``: the log carries ``RUN_SEALED`` — the run finished and its
+  final digest is recorded;
+* ``running``: an unexpired lease with a live owner exists;
+* ``interrupted``: no seal and no live lease — the orchestrator died
+  (or released without sealing); the run is resumable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.journal.lease import _read_state, _stale
+from repro.journal.log import replay_records
+from repro.journal.run import runs_root
+
+__all__ = ["RunInfo", "inspect_run", "list_runs"]
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One journaled run's durable state, as the registry sees it."""
+
+    run_id: str
+    kind: str
+    status: str  # "sealed" | "running" | "interrupted"
+    total_units: int
+    done_units: int
+    quarantined_units: int
+    executed_units: int
+    cached_units: int
+    sealed_digest: Optional[str]
+    created_at: float
+    directory: str
+    manifest: Dict[str, Any]
+
+
+def inspect_run(cache_root: str, run_id: str) -> Optional[RunInfo]:
+    """Durable state of one run, or ``None`` if it has no manifest."""
+    root = runs_root(cache_root)
+    directory = os.path.join(root, run_id)
+    manifest_path = os.path.join(directory, "manifest.json")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    records, _valid = replay_records(os.path.join(directory, "log.bin"))
+    known = set(manifest.get("units", []))
+    done: Dict[str, bool] = {}
+    quarantined = set()
+    sealed_digest: Optional[str] = None
+    for record in records:
+        kind = record.get("kind")
+        if kind == "UNIT_DONE" and record.get("unit") in known:
+            done[record["unit"]] = bool(record.get("executed", True))
+        elif kind == "UNIT_QUARANTINED" and record.get("unit") in known:
+            quarantined.add(record["unit"])
+        elif kind == "RUN_SEALED":
+            sealed_digest = record.get("digest")
+    if sealed_digest is not None:
+        status = "sealed"
+    else:
+        lease_state = _read_state(os.path.join(root, f"{run_id}.lease"))
+        if lease_state is not None and not _stale(lease_state, time.time()):
+            status = "running"
+        else:
+            status = "interrupted"
+    return RunInfo(
+        run_id=str(manifest.get("run_id", run_id)),
+        kind=str(manifest.get("kind", "?")),
+        status=status,
+        total_units=len(manifest.get("units", [])),
+        done_units=len(done),
+        quarantined_units=len(quarantined - set(done)),
+        executed_units=sum(1 for executed in done.values() if executed),
+        cached_units=sum(1 for executed in done.values() if not executed),
+        sealed_digest=sealed_digest,
+        created_at=float(manifest.get("created_at", 0.0)),
+        directory=directory,
+        manifest=manifest,
+    )
+
+
+def list_runs(cache_root: str) -> List[RunInfo]:
+    """Every journaled run under the cache root, newest first."""
+    root = runs_root(cache_root)
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        return []
+    runs: List[RunInfo] = []
+    for name in names:
+        if name.endswith(".lease"):
+            continue
+        info = inspect_run(cache_root, name)
+        if info is not None:
+            runs.append(info)
+    runs.sort(key=lambda info: (-info.created_at, info.run_id))
+    return runs

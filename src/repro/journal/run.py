@@ -1,0 +1,338 @@
+"""The run journal: manifest, durable unit results, idempotent replay.
+
+One run = one directory under ``<cache>/runs/<run_id>/``::
+
+    manifest.json   atomic at start: kind, config, plan, full unit list
+    log.bin         append-only record stream (:mod:`repro.journal.log`)
+    units/<h>.pkl   durable result payload per completed unit
+
+plus a sibling ``<cache>/runs/<run_id>.lease`` claim file (outside the
+directory, so wiping the directory for a fresh run cannot destroy a
+live claim).
+
+Crash-consistency discipline — effect before intent-completion:
+
+1. the unit's result pickle is written via tmp + ``fsync`` +
+   ``os.replace``;
+2. only then is ``UNIT_DONE(key, wall, digest)`` appended (itself
+   fsync'd).
+
+A kill between (1) and (2) leaves an orphan payload and no record —
+replay re-executes the unit and overwrites it (idempotent: units are
+pure, DESIGN.md §11).  A kill mid-(2) leaves a torn tail the log
+replay drops.  Replay cross-checks every ``UNIT_DONE`` digest against
+the payload file and demotes any mismatch to *not done* — so no torn
+or bit-rotted payload is ever served as a completed unit.
+
+``run_id`` is deterministic: a hash of the run kind, the canonical
+config payload, and the code-version salt.  The same invocation always
+maps to the same journal (that is what makes ``--resume`` a flag
+rather than a lookup problem), and any result-affecting source edit
+moves every run to a fresh id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cache.keys import code_salt, _canonical
+from repro.journal.lease import Lease, LeaseLostError
+from repro.journal.log import RecordLog
+
+__all__ = ["RunJournal", "RunStats", "derive_run_id", "open_run", "runs_root"]
+
+
+def runs_root(cache_root: str) -> str:
+    """The journal area under a cache root."""
+    return os.path.join(cache_root, "runs")
+
+
+def derive_run_id(kind: str, payload: Dict[str, Any]) -> str:
+    """Deterministic run id: hash of kind + canonical config + salt."""
+    body = json.dumps(
+        {
+            "kind": kind,
+            "config": _canonical(payload),
+            "salt": code_salt(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+def _unit_file(directory: str, unit_id: str) -> str:
+    name = hashlib.sha256(unit_id.encode("utf-8")).hexdigest()[:24]
+    return os.path.join(directory, "units", f"{name}.pkl")
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class RunStats:
+    """Counters for the journal status line and the resume assertions.
+
+    ``replayed`` units came back from the journal (not executed this
+    process); ``executed`` ran live; ``cached`` completed via a result-
+    cache hit (recorded durably all the same, so a resume neither
+    re-probes nor re-executes them).
+    """
+
+    replayed: int = 0
+    executed: int = 0
+    cached: int = 0
+    quarantined: int = 0
+
+
+@dataclass
+class RunJournal:
+    """An owned, replayed run ledger.  Build via :func:`open_run`."""
+
+    run_id: str
+    directory: str
+    manifest: Dict[str, Any]
+    _lease: Lease
+    _log: RecordLog
+    stats: RunStats = field(default_factory=RunStats)
+    replayed: Dict[str, Any] = field(default_factory=dict)
+    replayed_walls: Dict[str, float] = field(default_factory=dict)
+    replayed_quarantined: List[str] = field(default_factory=list)
+    sealed_digest: Optional[str] = None
+    _heartbeat: Optional[threading.Thread] = field(
+        init=False, default=None, repr=False
+    )
+    _stop: threading.Event = field(
+        init=False, default_factory=threading.Event, repr=False
+    )
+    _closed: bool = field(init=False, default=False)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def units(self) -> List[str]:
+        return list(self.manifest["units"])
+
+    @property
+    def sealed(self) -> bool:
+        return self.sealed_digest is not None
+
+    def is_done(self, unit_id: str) -> bool:
+        return unit_id in self.replayed
+
+    # -- recording -----------------------------------------------------------
+
+    def record_dispatched(self, unit_id: str, attempt: int) -> None:
+        self._log.append("UNIT_DISPATCHED", unit=unit_id, attempt=attempt)
+
+    def record_done(
+        self,
+        unit_id: str,
+        payload: Any,
+        wall_s: float,
+        executed: bool = True,
+    ) -> None:
+        """Durable completion: payload pickle first, then the record."""
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(blob).hexdigest()
+        _atomic_write(_unit_file(self.directory, unit_id), blob)
+        self._log.append(
+            "UNIT_DONE",
+            unit=unit_id,
+            wall=float(wall_s),
+            digest=digest,
+            executed=bool(executed),
+        )
+        if executed:
+            self.stats.executed += 1
+        else:
+            self.stats.cached += 1
+
+    def record_quarantined(self, unit_id: str, fault_kind: str) -> None:
+        self._log.append("UNIT_QUARANTINED", unit=unit_id, fault=fault_kind)
+        self.stats.quarantined += 1
+
+    def seal(self, digest: str) -> None:
+        """Terminal record: the run completed with this final digest."""
+        if self.sealed:
+            return
+        self._log.append("RUN_SEALED", digest=digest)
+        self.sealed_digest = digest
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _start_heartbeat(self) -> None:
+        interval = max(0.2, self._lease.ttl_s / 4.0)
+
+        def beat() -> None:
+            while not self._stop.wait(interval):
+                try:
+                    self._lease.renew()
+                except LeaseLostError:  # pragma: no cover — stolen live
+                    return
+
+        self._heartbeat = threading.Thread(
+            target=beat, name=f"journal-lease-{self.run_id}", daemon=True
+        )
+        self._heartbeat.start()
+
+    def close(self) -> None:
+        """Stop the heartbeat, release the lease, close the log."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=2.0)
+        self._log.close()
+        self._lease.release()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _replay_into(journal: RunJournal) -> None:
+    """Rebuild completion state from the durable record stream."""
+    done_records: Dict[str, Dict[str, Any]] = {}
+    quarantined: List[str] = []
+    known = set(journal.manifest["units"])
+    for record in journal._log.records:
+        kind = record.get("kind")
+        if kind == "UNIT_DONE" and record.get("unit") in known:
+            done_records[record["unit"]] = record
+        elif kind == "UNIT_QUARANTINED" and record.get("unit") in known:
+            if record["unit"] not in quarantined:
+                quarantined.append(record["unit"])
+        elif kind == "RUN_SEALED":
+            journal.sealed_digest = record.get("digest")
+    for unit_id, record in done_records.items():
+        path = _unit_file(journal.directory, unit_id)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            continue  # payload lost: demote to not-done, re-execute
+        if hashlib.sha256(blob).hexdigest() != record.get("digest"):
+            continue  # torn/rotted payload: demote to not-done
+        try:
+            journal.replayed[unit_id] = pickle.loads(blob)
+        except Exception:  # noqa: BLE001 — unpicklable ⇒ re-execute
+            continue
+        journal.replayed_walls[unit_id] = float(record.get("wall", 0.0))
+    journal.stats.replayed = len(journal.replayed)
+    journal.replayed_quarantined = [
+        unit_id for unit_id in quarantined
+        if unit_id not in journal.replayed
+    ]
+
+
+def open_run(
+    cache_root: str,
+    *,
+    kind: str,
+    config: Dict[str, Any],
+    plan: Dict[str, Any],
+    units: List[str],
+    resume: bool = False,
+    run_id: Optional[str] = None,
+    verify_units: bool = True,
+    lease_ttl_s: float = 30.0,
+) -> RunJournal:
+    """Claim (and possibly replay) the journal for one run.
+
+    Fresh mode (``resume=False``) wipes any prior journal for this
+    ``run_id`` and starts clean — re-running a command deliberately
+    re-measures unless the caller asked to resume.  Resume mode adopts
+    the existing manifest (after verifying the unit list matches the
+    current expansion bit-for-bit, unless ``verify_units=False`` —
+    fleet resumes adopt the manifest's frozen chunk plan instead of
+    re-deriving one) and replays completions.  A sealed journal resumes
+    trivially: everything replays, nothing executes.
+
+    Raises:
+        LeaseHeldError: a live orchestrator owns this run.
+        ValueError: resume requested but the manifest disagrees with
+            the current expansion (config drift without a salt change).
+    """
+    resolved = run_id or derive_run_id(kind, config)
+    root = runs_root(cache_root)
+    directory = os.path.join(root, resolved)
+    lease = Lease(
+        os.path.join(root, f"{resolved}.lease"), ttl_s=lease_ttl_s
+    ).acquire()
+    try:
+        manifest_path = os.path.join(directory, "manifest.json")
+        existing: Optional[Dict[str, Any]] = None
+        if resume and os.path.exists(manifest_path):
+            try:
+                with open(manifest_path, "r", encoding="utf-8") as handle:
+                    existing = json.load(handle)
+            except (OSError, ValueError):
+                existing = None
+        if existing is not None:
+            if verify_units and list(existing.get("units", [])) != list(
+                units
+            ):
+                raise ValueError(
+                    f"run {resolved}: journaled unit list does not match "
+                    "the current expansion; refusing to resume"
+                )
+            manifest = existing
+        else:
+            if os.path.isdir(directory):
+                shutil.rmtree(directory)
+            os.makedirs(os.path.join(directory, "units"), exist_ok=True)
+            manifest = {
+                "run_id": resolved,
+                "kind": kind,
+                "config": _canonical(config),
+                "plan": _canonical(plan),
+                "units": list(units),
+                "code_salt": code_salt(),
+                "created_at": time.time(),
+            }
+            _atomic_write(
+                manifest_path,
+                json.dumps(manifest, sort_keys=True, indent=2).encode(
+                    "utf-8"
+                ),
+            )
+        journal = RunJournal(
+            run_id=resolved,
+            directory=directory,
+            manifest=manifest,
+            _lease=lease,
+            _log=RecordLog(os.path.join(directory, "log.bin")),
+        )
+    except BaseException:
+        lease.release()
+        raise
+    _replay_into(journal)
+    journal._start_heartbeat()
+    return journal

@@ -86,6 +86,11 @@ def _worker_main(
     which is exactly what the supervisor's liveness check is for.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Undo the parent's SIGTERM handler (the CLI's graceful-unwind hook,
+    # inherited across fork): a worker answering SIGTERM with the
+    # parent's exception would die with a spurious traceback instead of
+    # just terminating.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     for entry in reversed(path):
         if entry not in sys.path:
             sys.path.insert(0, entry)
@@ -93,8 +98,18 @@ def _worker_main(
 
     chaos_module._IN_WORKER = True
     event_fd = event_writer.fileno()
+    # Forked workers inherit their *own* task-pipe write end (it is open
+    # in the parent at fork time), so a SIGKILLed parent never produces
+    # EOF on task_reader.  Watching for reparenting while idle is the
+    # only death signal that survives that: an orphaned worker exits
+    # within a poll interval instead of living forever (the kill-parent
+    # chaos harness depends on this — DESIGN.md §12).
+    parent_pid = os.getppid()
     while True:
         try:
+            while not task_reader.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return  # orphaned: the orchestrator died
             task = task_reader.recv()
         except (EOFError, OSError):
             return

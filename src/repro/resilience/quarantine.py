@@ -9,9 +9,13 @@ see exactly which units were dropped, why, and after how many tries.
 The log lives as one JSON document (``units.json``) under a quarantine
 directory — by default ``<cache-dir>/quarantine/``, next to the
 corrupt-object quarantine kept by :class:`repro.cache.ResultCache`.
-Writes are atomic read-merge-replace, so concurrent runs can both
-record without truncating each other's evidence (last writer wins per
-unit, which is fine: records are evidence, not results).
+Writes are atomic read-merge-replace under a
+:class:`repro.journal.lease.FileLock` (``units.lock``): the replace
+alone kept each write intact but let two concurrent campaigns read the
+same snapshot and erase each other's record (a classic lost update);
+the lock serializes read→merge→replace so both records survive.  Last
+writer still wins *per unit*, which is fine: records are evidence, not
+results.
 """
 
 from __future__ import annotations
@@ -22,6 +26,8 @@ import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
+
+from repro.journal.lease import FileLock
 
 __all__ = ["QuarantineLog", "QuarantineRecord"]
 
@@ -76,7 +82,7 @@ class QuarantineLog:
         return os.path.join(self.directory, "units.json")
 
     def record(self, record: QuarantineRecord) -> None:
-        """Append one poisoned unit (atomic merge on disk)."""
+        """Append one poisoned unit (locked atomic merge on disk)."""
         if record.recorded_at == 0.0:
             record = QuarantineRecord(
                 **{**asdict(record), "recorded_at": time.time()}
@@ -84,25 +90,33 @@ class QuarantineLog:
         self._memory.append(record)
         if self.path is None:
             return
-        merged: Dict[str, dict] = {
-            entry["unit_id"]: entry for entry in self._load_raw()
-        }
-        merged[record.unit_id] = asdict(record)
-        payload = json.dumps(
-            [merged[key] for key in sorted(merged)], indent=0, sort_keys=True
-        ).encode("utf-8")
         os.makedirs(self.directory, exist_ok=True)
-        fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(payload)
-            os.replace(temp_path, self.path)
-        except BaseException:
+        # The lock covers read→merge→replace: without it, two processes
+        # reading the same snapshot concurrently each merge only their
+        # own record and the second replace erases the first (the
+        # lost-update race the multi-process quarantine test pins).
+        with FileLock(os.path.join(self.directory, "units.lock")):
+            merged: Dict[str, dict] = {
+                entry["unit_id"]: entry for entry in self._load_raw()
+            }
+            merged[record.unit_id] = asdict(record)
+            payload = json.dumps(
+                [merged[key] for key in sorted(merged)],
+                indent=0, sort_keys=True,
+            ).encode("utf-8")
+            fd, temp_path = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
             try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(temp_path, self.path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
 
     def load(self) -> List[QuarantineRecord]:
         """Every persisted record (memory-only records when no disk)."""

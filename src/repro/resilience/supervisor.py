@@ -87,6 +87,7 @@ def supervised_map(
     chaos: Optional[ChaosPlan] = None,
     on_result: Optional[Callable[[str, Any], None]] = None,
     on_quarantine: Optional[Callable[[QuarantineRecord], None]] = None,
+    on_dispatch: Optional[Callable[[str, int], None]] = None,
     context: str = "units",
     poll_interval_s: float = 0.05,
 ) -> DispatchOutcome:
@@ -111,6 +112,9 @@ def supervised_map(
             order.
         on_quarantine: called the moment a unit is poisoned, so
             streaming callers can close out the hole immediately.
+        on_dispatch: called as ``on_dispatch(unit_id, attempt)``
+            immediately before each pool submission (retries included)
+            — the run journal's dispatch-intent hook (DESIGN.md §12).
         context: quarantine-record provenance tag.
     """
     policy = policy if policy is not None else RetryPolicy()
@@ -163,6 +167,8 @@ def supervised_map(
                 pending.append((unit_id, attempt))
             while pending and pool.idle_count() > 0:
                 unit_id, attempt = pending.popleft()
+                if on_dispatch is not None:
+                    on_dispatch(unit_id, attempt)
                 pool.submit(
                     fn, unit_id, attempt, payloads[unit_id], plan_dict
                 )

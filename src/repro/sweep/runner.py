@@ -20,6 +20,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.cache import ResultCache, sweep_unit_key
+from repro.journal.run import RunJournal
 from repro.resilience.chaos import ChaosPlan
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.quarantine import QuarantineLog
@@ -48,6 +49,10 @@ class SweepRunner:
         resilience: retry/backoff/deadline policy for pooled dispatch.
         quarantine: where poisoned cells are persisted (optional).
         chaos: fault-injection plan override (tests/harness only).
+        journal: crash-consistent run ledger (DESIGN.md §12): journaled
+            cells replay instead of probing the cache or executing,
+            completions (cache hits included) are recorded durably, and
+            the campaign seals with the report digest.
     """
 
     def __init__(
@@ -58,6 +63,7 @@ class SweepRunner:
         resilience: Optional[RetryPolicy] = None,
         quarantine: Optional[QuarantineLog] = None,
         chaos: Optional[ChaosPlan] = None,
+        journal: Optional[RunJournal] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -67,6 +73,7 @@ class SweepRunner:
         self.resilience = resilience
         self.quarantine = quarantine
         self.chaos = chaos
+        self.journal = journal
 
     def run(self) -> CampaignReport:
         """Execute the grid and aggregate the safety scoreboard."""
@@ -74,7 +81,18 @@ class SweepRunner:
         units = self.spec.expand()
         records: Dict[str, SafetyRecord] = {}
         misses: List[SweepUnit] = []
+        replayed_holes: List[str] = []
         for unit in units:
+            unit_id = unit.unit_id()
+            if self.journal is not None and self.journal.is_done(unit_id):
+                records[unit_id] = self.journal.replayed[unit_id]
+                continue
+            if (
+                self.journal is not None
+                and unit_id in self.journal.replayed_quarantined
+            ):
+                replayed_holes.append(unit_id)
+                continue
             payload = (
                 _CACHE_MISS
                 if self.cache is None
@@ -85,20 +103,28 @@ class SweepRunner:
             if payload is _CACHE_MISS:
                 misses.append(unit)
             else:
-                records[unit.unit_id()] = payload
+                records[unit_id] = payload
+                if self.journal is not None:
+                    self.journal.record_done(
+                        unit_id, payload, 0.0, executed=False
+                    )
         # Longest-first dispatch (estimated node-seconds, then canonical
         # order): the biggest fleets land first so they never trail the
         # makespan.  Purely a wall-clock concern — results cannot move.
         misses.sort(key=lambda u: (-u.estimated_cost(), u.sort_key()))
-        holes = self._execute(misses, records)
-        return CampaignReport.build(
+        executed_holes = self._execute(misses, records)
+        holes = sorted(executed_holes + replayed_holes)
+        report = CampaignReport.build(
             self.spec.name,
             records.values(),
-            executed=len(misses) - len(holes),
-            from_cache=len(units) - len(misses),
+            executed=len(misses) - len(executed_holes),
+            from_cache=len(units) - len(misses) - len(replayed_holes),
             wall_seconds=time.perf_counter() - started,
             holes=holes,
         )
+        if self.journal is not None:
+            self.journal.seal(report.digest())
+        return report
 
     def _execute(
         self,
@@ -108,15 +134,24 @@ class SweepRunner:
         """Run every miss into ``records``; returns quarantined cell ids."""
         if not misses:
             return []
+        journal = self.journal
         workers = min(self.workers, len(misses))
         if workers == 1 or len(misses) == 1:
             for unit in misses:
+                unit_id = unit.unit_id()
+                started = time.perf_counter()
+                if journal is not None:
+                    journal.record_dispatched(unit_id, 0)
                 record = run_unit(unit)
                 if self.cache is not None:
                     self.cache.put(
                         sweep_unit_key(unit.cache_payload()), record
                     )
-                records[unit.unit_id()] = record
+                if journal is not None:
+                    journal.record_done(
+                        unit_id, record, time.perf_counter() - started
+                    )
+                records[unit_id] = record
             return []
         # Imported lazily so a serial sweep never touches the pool
         # machinery; the pool itself is the process-wide warm pool the
@@ -130,6 +165,11 @@ class SweepRunner:
                 self.cache.put(
                     sweep_unit_key(by_id[unit_id].cache_payload()), record
                 )
+            if journal is not None:
+                # After the cache write: a kill between the two leaves
+                # a cached-but-unjournaled cell a resume loads from the
+                # cache instead of re-executing.
+                journal.record_done(unit_id, record, 0.0)
             records[unit_id] = record
 
         outcome = supervised_map(
@@ -141,7 +181,18 @@ class SweepRunner:
             policy=self.resilience,
             quarantine=self.quarantine,
             chaos=self.chaos,
+            on_dispatch=(
+                journal.record_dispatched if journal is not None else None
+            ),
             on_result=handle_result,
+            on_quarantine=(
+                (
+                    lambda record: journal.record_quarantined(
+                        record.unit_id, record.kind
+                    )
+                )
+                if journal is not None else None
+            ),
             context="sweep",
         )
         return outcome.holes

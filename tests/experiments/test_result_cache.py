@@ -308,3 +308,43 @@ def test_pickled_objects_live_under_fanout_dirs(tmp_path):
         assert len(path.parent.name) == 2  # two-hex fan-out
         with open(path, "rb") as handle:
             pickle.load(handle)  # every object is readable
+
+
+def test_atomic_writes_under_multi_process_contention(tmp_path):
+    """Two real processes hammer one key: readers never see garbage.
+
+    ``put`` is tmp-file + ``os.replace``, so a concurrent ``get`` must
+    observe either some writer's complete payload or a miss — never a
+    torn object (which would show up as ``stats.corrupt``).
+    """
+    import subprocess
+    import sys
+
+    root = str(tmp_path)
+    script = (
+        "import sys\n"
+        "from repro.cache import ResultCache\n"
+        "root, tag = sys.argv[1], sys.argv[2]\n"
+        "cache = ResultCache(root)\n"
+        "for i in range(200):\n"
+        "    cache.put('contended-key', {'tag': tag, 'i': i,\n"
+        "                                'blob': b'x' * 4096})\n"
+        "    got = cache.get('contended-key')\n"
+        "    assert got is not None and got['blob'] == b'x' * 4096\n"
+        "assert cache.stats.corrupt == 0, cache.stats\n"
+    )
+    env = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, root, tag], env=env
+        )
+        for tag in ("alpha", "beta")
+    ]
+    for proc in procs:
+        assert proc.wait(timeout=120) == 0
+    # The surviving object is one writer's complete payload.
+    final = ResultCache(root)
+    payload = final.get("contended-key")
+    assert payload["tag"] in ("alpha", "beta")
+    assert payload["blob"] == b"x" * 4096
+    assert final.stats.corrupt == 0

@@ -1,0 +1,183 @@
+"""Lease ownership: exclusive claims, staleness, stealing, FileLock."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.journal.lease import (
+    FileLock,
+    Lease,
+    LeaseHeldError,
+    LeaseLostError,
+)
+
+
+@pytest.fixture()
+def lease_path(tmp_path):
+    return str(tmp_path / "run.lease")
+
+
+def test_acquire_release_cycle(lease_path):
+    lease = Lease(lease_path).acquire()
+    assert lease.held
+    assert os.path.exists(lease_path)
+    lease.release()
+    assert not lease.held
+    assert not os.path.exists(lease_path)
+
+
+def test_second_claimant_rejected_while_owner_lives(lease_path):
+    first = Lease(lease_path).acquire()
+    with pytest.raises(LeaseHeldError):
+        Lease(lease_path).acquire()
+    first.release()
+
+
+def test_expired_lease_is_stolen(lease_path):
+    first = Lease(lease_path, ttl_s=30.0).acquire()
+    # Forge an expired lease owned by a live pid on another host: only
+    # the expiry can make it stale.
+    with open(lease_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "token": "other", "pid": os.getpid(),
+                "host": "another-host", "expires_at": time.time() - 1.0,
+            },
+            handle,
+        )
+    second = Lease(lease_path).acquire()
+    assert second.held
+    second.release()
+    first.release()  # token no longer ours: must not unlink or raise
+
+
+def test_dead_local_pid_is_stolen_immediately(lease_path):
+    import socket
+
+    # An unexpired lease held by a dead pid on *this* host — the chaos
+    # harness's post-SIGKILL resume case.  2**22 exceeds the default
+    # pid_max, so the pid cannot be alive.
+    with open(lease_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "token": "dead", "pid": 2**22,
+                "host": socket.gethostname(),
+                "expires_at": time.time() + 3600.0,
+            },
+            handle,
+        )
+    lease = Lease(lease_path).acquire()
+    assert lease.held
+    lease.release()
+
+
+def test_live_foreign_host_lease_not_stolen(lease_path):
+    with open(lease_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "token": "remote", "pid": 1, "host": "another-host",
+                "expires_at": time.time() + 3600.0,
+            },
+            handle,
+        )
+    with pytest.raises(LeaseHeldError):
+        Lease(lease_path).acquire()
+
+
+def test_corrupt_lease_file_counts_as_stale(lease_path):
+    with open(lease_path, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    lease = Lease(lease_path).acquire()
+    assert lease.held
+    lease.release()
+
+
+def test_renew_detects_theft(lease_path):
+    lease = Lease(lease_path).acquire()
+    with open(lease_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "token": "thief", "pid": os.getpid(),
+                "host": "h", "expires_at": time.time() + 60.0,
+            },
+            handle,
+        )
+    with pytest.raises(LeaseLostError):
+        lease.renew()
+    assert not lease.held
+
+
+def test_renew_pushes_expiry_forward(lease_path):
+    lease = Lease(lease_path, ttl_s=60.0).acquire()
+    with open(lease_path, "r", encoding="utf-8") as handle:
+        before = json.load(handle)["expires_at"]
+    time.sleep(0.01)
+    lease.renew()
+    with open(lease_path, "r", encoding="utf-8") as handle:
+        after = json.load(handle)["expires_at"]
+    assert after > before
+    lease.release()
+
+
+def test_release_never_unlinks_foreign_token(lease_path):
+    lease = Lease(lease_path).acquire()
+    with open(lease_path, "w", encoding="utf-8") as handle:
+        json.dump({"token": "thief"}, handle)
+    lease.release()
+    assert os.path.exists(lease_path)  # the thief's claim survives
+
+
+def test_filelock_serializes_critical_sections(tmp_path):
+    path = str(tmp_path / "x.lock")
+    order = []
+    with FileLock(path):
+        order.append("in")
+        # A second claimant with a tiny timeout cannot get in.
+        with pytest.raises(TimeoutError):
+            with FileLock(path, timeout_s=0.05):
+                order.append("never")
+    order.append("out")
+    with FileLock(path):  # released: immediately reacquirable
+        order.append("again")
+    assert order == ["in", "out", "again"]
+
+
+def test_filelock_excludes_across_processes(tmp_path):
+    """Two real processes × 200 locked increments → exactly 400.
+
+    Pins claim atomicity: the lock file must never be observable
+    half-written, or a contender reads it as corrupt-therefore-stale
+    and steals a lock that is actively held (which shows up here as a
+    lost increment).
+    """
+    import subprocess
+    import sys
+
+    lock = str(tmp_path / "counter.lock")
+    counter = str(tmp_path / "counter.txt")
+    with open(counter, "w") as handle:
+        handle.write("0")
+    script = (
+        "import sys\n"
+        "from repro.journal.lease import FileLock\n"
+        "lock, counter = sys.argv[1], sys.argv[2]\n"
+        "for _ in range(200):\n"
+        "    with FileLock(lock):\n"
+        "        with open(counter) as handle:\n"
+        "            value = int(handle.read())\n"
+        "        with open(counter, 'w') as handle:\n"
+        "            handle.write(str(value + 1))\n"
+    )
+    env = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, lock, counter], env=env
+        )
+        for _ in range(2)
+    ]
+    for proc in procs:
+        assert proc.wait(timeout=120) == 0
+    with open(counter) as handle:
+        assert int(handle.read()) == 400

@@ -1,0 +1,122 @@
+"""The append-only record log: framing, fsync discipline, torn tails."""
+
+import os
+import struct
+
+import pytest
+
+from repro.journal.log import (
+    KILL_AFTER_ENV,
+    RecordLog,
+    replay_records,
+    set_kill_action,
+)
+
+_FRAME = struct.Struct(">II")
+
+
+@pytest.fixture()
+def log_path(tmp_path):
+    return str(tmp_path / "log.bin")
+
+
+def test_append_then_replay_round_trips(log_path):
+    log = RecordLog(log_path)
+    log.append("UNIT_DISPATCHED", unit="u1", attempt=0)
+    log.append("UNIT_DONE", unit="u1", wall=0.5, digest="d", executed=True)
+    log.append("RUN_SEALED", digest="final")
+    log.close()
+    records, valid = replay_records(log_path)
+    assert [r["kind"] for r in records] == [
+        "UNIT_DISPATCHED", "UNIT_DONE", "RUN_SEALED",
+    ]
+    assert records[1]["unit"] == "u1"
+    assert records[2]["digest"] == "final"
+    assert valid == os.path.getsize(log_path)
+
+
+def test_unknown_kind_rejected(log_path):
+    log = RecordLog(log_path)
+    with pytest.raises(ValueError):
+        log.append("NOT_A_KIND", unit="u1")
+    log.close()
+
+
+def test_replay_missing_file_is_empty(tmp_path):
+    records, valid = replay_records(str(tmp_path / "absent.bin"))
+    assert records == []
+    assert valid == 0
+
+
+def _write_records(path, n):
+    log = RecordLog(path)
+    for i in range(n):
+        log.append("UNIT_DONE", unit=f"u{i}", wall=0.0, digest="d",
+                   executed=True)
+    log.close()
+    return os.path.getsize(path)
+
+
+def test_torn_tail_payload_is_dropped(log_path):
+    size = _write_records(log_path, 3)
+    # Simulate a kill mid-write: a fourth frame whose payload is cut off.
+    with open(log_path, "ab") as handle:
+        handle.write(_FRAME.pack(100, 0))
+        handle.write(b"only-ten-b")
+    records, valid = replay_records(log_path)
+    assert len(records) == 3
+    assert valid == size
+
+
+def test_torn_header_is_dropped(log_path):
+    size = _write_records(log_path, 2)
+    with open(log_path, "ab") as handle:
+        handle.write(b"\x00\x00")  # partial length header
+    records, valid = replay_records(log_path)
+    assert len(records) == 2
+    assert valid == size
+
+
+def test_crc_mismatch_stops_replay(log_path):
+    _write_records(log_path, 3)
+    # Flip a payload byte inside the *last* frame.
+    with open(log_path, "r+b") as handle:
+        handle.seek(-1, os.SEEK_END)
+        last = handle.read(1)
+        handle.seek(-1, os.SEEK_END)
+        handle.write(bytes([last[0] ^ 0xFF]))
+    records, _valid = replay_records(log_path)
+    assert len(records) == 2
+
+
+def test_reopen_truncates_torn_tail_before_appending(log_path):
+    size = _write_records(log_path, 2)
+    with open(log_path, "ab") as handle:
+        handle.write(_FRAME.pack(50, 0) + b"torn")
+    log = RecordLog(log_path)  # re-open for append truncates
+    assert os.path.getsize(log_path) == size
+    assert len(log.records) == 2
+    log.append("RUN_SEALED", digest="x")
+    log.close()
+    records, valid = replay_records(log_path)
+    assert [r["kind"] for r in records][-1] == "RUN_SEALED"
+    assert valid == os.path.getsize(log_path)
+
+
+def test_kill_after_fires_injected_action(log_path, monkeypatch):
+    fired = []
+    monkeypatch.setenv(KILL_AFTER_ENV, "2")
+    set_kill_action(lambda: fired.append(True))
+    try:
+        log = RecordLog(log_path)
+        log.append("UNIT_DISPATCHED", unit="u1", attempt=0)
+        assert not fired
+        log.append("UNIT_DONE", unit="u1", wall=0.0, digest="d",
+                   executed=True)
+        assert fired  # fired *after* the 2nd fsync'd append
+        log.close()
+    finally:
+        set_kill_action(None)
+    # Both records are durable: the kill lands post-fsync by design.
+    records, _valid = replay_records(log_path)
+    assert len(records) == 2

@@ -1,0 +1,194 @@
+"""``repro runs`` and the journaled command flags, driven in-process."""
+
+import pytest
+
+from repro.cli import main
+from repro.journal.log import KILL_AFTER_ENV, set_kill_action
+from repro.journal.pipelines import open_sweep_journal
+from repro.journal.registry import list_runs
+from repro.sweep import SweepRunner
+from repro.sweep.spec import load_spec
+
+SPEC = """
+name = "runs-cli-demo"
+agents = ["overclock"]
+scales = [2]
+seeds = [0]
+duration_s = 10
+rack_size = 1
+
+[[fault]]
+kind = "bad_data"
+intensities = [0.9]
+start_s = 2
+duration_s = 5
+racks = [0]
+"""
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "demo.toml"
+    path.write_text(SPEC)
+    return str(path)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def test_runs_list_empty(capsys, cache_dir):
+    assert main(["runs", "list", "--cache-dir", cache_dir]) == 0
+    assert "no journaled runs under" in capsys.readouterr().out
+
+
+def test_sweep_run_journals_and_runs_list_shows_it(capsys, spec_path,
+                                                   cache_dir):
+    assert main(
+        ["sweep", "run", spec_path, "--cache-dir", cache_dir]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[journal: run " in out
+    assert "sealed]" in out
+
+    assert main(["runs", "list", "--cache-dir", cache_dir]) == 0
+    listing = capsys.readouterr().out
+    assert "sweep" in listing
+    assert "sealed" in listing
+    assert "2/2 done" in listing
+
+
+def test_no_journal_flag_suppresses_journal(capsys, spec_path, cache_dir):
+    assert main(
+        ["sweep", "run", spec_path, "--cache-dir", cache_dir,
+         "--no-journal"]
+    ) == 0
+    assert "[journal:" not in capsys.readouterr().out
+    assert list_runs(cache_dir) == []
+
+
+def test_runs_show_renders_manifest(capsys, spec_path, cache_dir):
+    assert main(
+        ["sweep", "run", spec_path, "--cache-dir", cache_dir]
+    ) == 0
+    capsys.readouterr()
+    (info,) = list_runs(cache_dir)
+    assert main(
+        ["runs", "show", info.run_id, "--cache-dir", cache_dir]
+    ) == 0
+    out = capsys.readouterr().out
+    assert f"run {info.run_id} (sweep) — sealed" in out
+    assert "sealed digest: " in out
+    assert "units: 2/2 done" in out
+
+
+def test_runs_show_unknown_id_fails(capsys, cache_dir):
+    assert main(
+        ["runs", "show", "deadbeefdeadbeef", "--cache-dir", cache_dir]
+    ) == 1
+    assert "no journaled run" in capsys.readouterr().out
+
+
+def test_runs_resume_unknown_id_fails(capsys, cache_dir):
+    assert main(
+        ["runs", "resume", "deadbeefdeadbeef", "--cache-dir", cache_dir]
+    ) == 1
+    assert "no journaled run" in capsys.readouterr().out
+
+
+def _interrupt_sweep(spec_path, cache_dir, monkeypatch):
+    """Journal one cell of the campaign, then "die" mid-run."""
+    class Killed(Exception):
+        pass
+
+    spec = load_spec(spec_path)
+    monkeypatch.setenv(KILL_AFTER_ENV, "3")
+    set_kill_action(lambda: (_ for _ in ()).throw(Killed()))
+    try:
+        journal = open_sweep_journal(cache_dir, spec)
+        with pytest.raises(Killed):
+            SweepRunner(spec, journal=journal).run()
+        journal.close()  # the dead pid's lease would be stolen anyway
+    finally:
+        monkeypatch.delenv(KILL_AFTER_ENV, raising=False)
+        set_kill_action(None)
+    return journal.run_id
+
+
+def test_runs_resume_finishes_interrupted_sweep(capsys, spec_path,
+                                                cache_dir, monkeypatch):
+    run_id = _interrupt_sweep(spec_path, cache_dir, monkeypatch)
+    (info,) = list_runs(cache_dir)
+    assert info.run_id == run_id
+    assert info.status == "interrupted"
+    assert info.done_units == 1
+
+    assert main(["runs", "resume", run_id, "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "replayed=1 executed=1" in out
+    assert "sealed]" in out
+    (after,) = list_runs(cache_dir)
+    assert after.status == "sealed"
+
+
+def test_sweep_resume_flag_finishes_interrupted_run(capsys, spec_path,
+                                                    cache_dir,
+                                                    monkeypatch):
+    _interrupt_sweep(spec_path, cache_dir, monkeypatch)
+    assert main(
+        ["sweep", "run", spec_path, "--cache-dir", cache_dir, "--resume"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "replayed=1 executed=1" in out
+    assert "sealed]" in out
+
+
+def test_resumed_digest_matches_uninterrupted_run(capsys, spec_path,
+                                                  cache_dir, monkeypatch):
+    baseline = SweepRunner(load_spec(spec_path)).run().digest()
+    _interrupt_sweep(spec_path, cache_dir, monkeypatch)
+    assert main(
+        ["sweep", "run", spec_path, "--cache-dir", cache_dir, "--resume"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert f"campaign digest: {baseline}" in out
+
+
+def test_reproduce_all_journals_series_runs(capsys, cache_dir):
+    assert main(
+        ["reproduce-all", "--only", "table1", "--cache-dir", cache_dir,
+         "--no-cache"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[journal: run " in out
+    assert "sealed]" in out
+    (info,) = list_runs(cache_dir)
+    assert info.kind == "reproduce"
+    assert info.status == "sealed"
+
+
+def test_reproduce_all_resume_needs_journal(cache_dir):
+    with pytest.raises(SystemExit):
+        main(
+            ["reproduce-all", "--only", "table1", "--cache-dir",
+             cache_dir, "--no-journal", "--resume"]
+        )
+
+
+def test_fleet_journals_via_cache_env(capsys, cache_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
+    assert main(
+        ["fleet", "--nodes", "4", "--seconds", "10", "--workers", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[journal: run " in out
+    assert "sealed]" in out
+    (info,) = list_runs(cache_dir)
+    assert info.kind == "fleet"
+    # Resume of a sealed fleet run replays everything, executes nothing.
+    assert main(
+        ["runs", "resume", info.run_id, "--cache-dir", cache_dir]
+    ) == 0
+    resumed = capsys.readouterr().out
+    assert "replayed=4 executed=0" in resumed

@@ -54,3 +54,42 @@ def test_corrupt_log_degrades_to_empty(tmp_path):
     log.record(_record())  # and recording over it recovers the file
     with open(log.path) as handle:
         assert json.load(handle)[0]["unit_id"] == "u1"
+
+
+def test_concurrent_processes_lose_no_records(tmp_path):
+    """Two real processes × 25 distinct units → all 50 records survive.
+
+    Pins the FileLock around read→merge→replace: without it the two
+    writers race on the same snapshot and the later ``os.replace``
+    silently erases the earlier process's merges (lost update).
+    """
+    import subprocess
+    import sys
+
+    directory = str(tmp_path / "q")
+    script = (
+        "import sys\n"
+        "from repro.resilience import QuarantineLog, QuarantineRecord\n"
+        "directory, prefix = sys.argv[1], sys.argv[2]\n"
+        "log = QuarantineLog(directory=directory)\n"
+        "for i in range(25):\n"
+        "    log.record(QuarantineRecord(\n"
+        "        unit_id=f'{prefix}/{i:02d}', context='mp',\n"
+        "        kind='crash', attempts=1,\n"
+        "    ))\n"
+    )
+    env = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, directory, prefix], env=env
+        )
+        for prefix in ("alpha", "beta")
+    ]
+    for proc in procs:
+        assert proc.wait(timeout=60) == 0
+    loaded = QuarantineLog(directory=directory).load()
+    expected = sorted(
+        f"{prefix}/{i:02d}"
+        for prefix in ("alpha", "beta") for i in range(25)
+    )
+    assert sorted(r.unit_id for r in loaded) == expected
