@@ -48,27 +48,40 @@ class CacheStats:
 
     ``corrupt`` counts present-but-unreadable objects that were moved
     to quarantine (each such get also counts as a miss — the unit
-    reran).
+    reran).  ``pruned`` counts quarantined evidence files deleted to
+    keep the quarantine directory bounded
+    (:attr:`ResultCache.quarantine_keep`).
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    pruned: int = 0
 
     def render(self) -> str:
         line = f"hits={self.hits} misses={self.misses} stores={self.stores}"
         if self.corrupt:
             line += f" corrupt={self.corrupt}"
+        if self.pruned:
+            line += f" pruned={self.pruned}"
         return line
 
 
 @dataclass
 class ResultCache:
-    """Content-addressed pickle store rooted at ``directory``."""
+    """Content-addressed pickle store rooted at ``directory``.
+
+    ``quarantine_keep`` bounds the quarantine directory: each
+    quarantining keeps only the newest ``quarantine_keep`` evidence
+    pickles and deletes older ones (counted in
+    :attr:`CacheStats.pruned`), so a long-lived cache under recurring
+    corruption cannot grow ``<cache>/quarantine/`` forever.
+    """
 
     directory: str = field(default_factory=default_cache_dir)
     stats: CacheStats = field(default_factory=CacheStats)
+    quarantine_keep: int = 64
 
     def _object_path(self, key: str) -> str:
         return os.path.join(self.directory, "objects", key[:2], f"{key}.pkl")
@@ -113,7 +126,41 @@ class ResultCache:
                 path, os.path.join(self.quarantine_dir, f"{key}.pkl")
             )
         except OSError:  # pragma: no cover — unreadable *and* unmovable
-            pass
+            return
+        self._prune_quarantine()
+
+    def _prune_quarantine(self) -> None:
+        """Keep only the newest ``quarantine_keep`` evidence pickles.
+
+        Only ``*.pkl`` evidence files are eligible — the poison-unit
+        quarantine log (``units.json`` and its lock) shares this
+        directory and must never be collected.  Oldest-first by
+        ``(mtime, name)``: deterministic even when a burst of
+        corruption lands within one timestamp granule.
+        """
+        if self.quarantine_keep < 0:
+            return  # unbounded by explicit request
+        try:
+            names = os.listdir(self.quarantine_dir)
+        except OSError:
+            return
+        entries = []
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.quarantine_dir, name)
+            try:
+                entries.append((os.stat(path).st_mtime_ns, name, path))
+            except OSError:
+                continue  # raced a concurrent prune
+        entries.sort()
+        excess = len(entries) - self.quarantine_keep
+        for _mtime, _name, path in entries[:max(excess, 0)]:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self.stats.pruned += 1
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._object_path(key))

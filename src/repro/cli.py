@@ -70,6 +70,7 @@ from repro.fleet.config import (
 )
 from repro.journal.cli import add_runs_parser, cmd_runs, journal_status_line
 from repro.journal.lease import LeaseHeldError
+from repro.serve.cli import add_serve_parser, cmd_serve
 
 __all__ = ["main"]
 
@@ -261,8 +262,9 @@ def _build_parser() -> argparse.ArgumentParser:
              "quarantine reports",
     )
     chaos.add_argument(
-        "target", choices=("fleet", "reproduce", "sweep"),
-        help="which pooled pipeline to stress",
+        "target", choices=("fleet", "reproduce", "sweep", "serve"),
+        help="which pooled pipeline to stress ('serve' drives the "
+             "control-plane kill-server harness)",
     )
     chaos.add_argument(
         "--fault", default="crash",
@@ -321,7 +323,23 @@ def _build_parser() -> argparse.ArgumentParser:
              "resume re-executes zero journaled units and seals with a "
              "digest bit-identical to an uninterrupted run",
     )
+    chaos.add_argument(
+        "--kill-server", type=int, default=None, metavar="N",
+        help="serve target (DESIGN.md §13): start a real 'repro serve' "
+             "server, submit --job over its socket, SIGKILL the server "
+             "after its Nth journal record, and fail unless a restarted "
+             "server adopts the run, re-executes zero journaled units, "
+             "and seals with the uninterrupted digest",
+    )
+    chaos.add_argument(
+        "--job", choices=("fleet", "reproduce", "sweep"),
+        default="fleet",
+        help="serve target: which job kind the kill-server harness "
+             "submits (default: %(default)s)",
+    )
     _add_resilience_flags(chaos)
+
+    add_serve_parser(sub)
 
     add_runs_parser(sub)
 
@@ -1013,6 +1031,24 @@ def _kill_parent_verdict(failures: List[str]) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience import ChaosPlan, QuarantineLog
 
+    if args.target == "serve":
+        if args.kill_server is None or args.kill_server < 1:
+            raise SystemExit(
+                "repro: error: chaos serve needs --kill-server N (N >= 1)"
+            )
+        if args.job == "sweep" and not args.spec:
+            raise SystemExit(
+                "repro: error: chaos serve --job sweep needs "
+                "--spec SPEC.toml"
+            )
+        from repro.serve.harness import run_kill_server_harness
+
+        return run_kill_server_harness(args)
+    if args.kill_server is not None:
+        raise SystemExit(
+            "repro: error: --kill-server is only meaningful for the "
+            "serve target"
+        )
     if args.target == "sweep" and not args.spec:
         raise SystemExit(
             "repro: error: chaos sweep needs --spec SPEC.toml"
@@ -1173,6 +1209,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cmd_conformance(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "serve":
+            return cmd_serve(args)
         if args.command == "runs":
             return cmd_runs(args)
         if args.command == "bench":

@@ -63,7 +63,7 @@ from repro.fleet.scenario import FleetScenario
 from repro.journal.run import RunJournal
 from repro.resilience.chaos import ChaosPlan
 from repro.resilience.policy import RetryPolicy
-from repro.resilience.pool import SupervisedPool
+from repro.resilience.pool import PoolCounters, SupervisedPool
 from repro.resilience.quarantine import QuarantineLog
 from repro.resilience.supervisor import supervised_map
 
@@ -76,6 +76,7 @@ __all__ = [
     "reproduce_all",
     "runs_digest",
     "shared_pool",
+    "shared_pool_counters",
     "shutdown_shared_pool",
 ]
 
@@ -113,6 +114,20 @@ def shared_pool(workers: int) -> SupervisedPool:
         )
         _shared_pool_size = workers
     return _shared_pool
+
+
+def shared_pool_counters() -> Dict[str, int]:
+    """Observability snapshot of the warm pool (all zeros when cold).
+
+    ``size`` is the live pool's worker count (0 with no pool); the rest
+    are the pool's cumulative :class:`~repro.resilience.pool.
+    PoolCounters`.  Counters reset with the pool — a grow-replacement
+    or shutdown starts them over, which is the honest reading (they
+    describe *this* pool's lifetime).
+    """
+    if _shared_pool is None:
+        return {"size": 0, **PoolCounters().snapshot()}
+    return {"size": _shared_pool.size, **_shared_pool.counters.snapshot()}
 
 
 def shutdown_shared_pool() -> None:

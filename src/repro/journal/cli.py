@@ -5,6 +5,7 @@ Subcommands::
     repro runs list [--cache-dir PATH]
     repro runs show RUN_ID [--cache-dir PATH]
     repro runs resume RUN_ID [--workers N] [--cache-dir PATH]
+    repro runs prune [--keep N] [--sealed-only] [--cache-dir PATH]
 
 ``resume`` rebuilds the pipeline from the run's manifest alone (fleet
 config, artifact selection, or campaign spec — whatever the original
@@ -17,17 +18,20 @@ harness's ``--kill-parent`` mode proves exactly this).
 from __future__ import annotations
 
 import argparse
+import os
+import shutil
 import time
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.cache import ResultCache, default_cache_dir
 from repro.journal.registry import RunInfo, inspect_run, list_runs
-from repro.journal.run import RunJournal
+from repro.journal.run import RunJournal, runs_root
 
 __all__ = [
     "add_runs_parser",
     "cmd_runs",
     "journal_status_line",
+    "prune_runs",
     "resume_run",
 ]
 
@@ -84,6 +88,22 @@ def add_runs_parser(sub: argparse._SubParsersAction) -> None:
         "--no-cache", dest="cache", action="store_false", default=True,
         help="do not consult the result cache for remaining units",
     )
+    runs_prune = runs_sub.add_parser(
+        "prune",
+        help="delete old run directories from <cache>/runs/ (running "
+             "runs — live lease — are always refused)",
+    )
+    runs_prune.add_argument(
+        "--keep", type=int, default=0, metavar="N",
+        help="keep the N newest prunable runs (default: %(default)s — "
+             "prune every non-running run)",
+    )
+    runs_prune.add_argument(
+        "--sealed-only", action="store_true",
+        help="prune only sealed runs; interrupted (resumable) runs are "
+             "kept",
+    )
+    runs_prune.add_argument("--cache-dir", metavar="PATH", default=None)
 
 
 def _cache_root(args: argparse.Namespace) -> str:
@@ -226,11 +246,77 @@ def resume_run(
     return 1
 
 
+def prune_runs(
+    cache_root: str,
+    keep: int = 0,
+    sealed_only: bool = False,
+) -> Tuple[List[RunInfo], List[RunInfo], List[RunInfo]]:
+    """Delete old run directories; never touch a running run.
+
+    Prunable runs are everything without a live lease — sealed runs
+    always, interrupted runs unless ``sealed_only`` — and the newest
+    ``keep`` prunable runs are spared (the registry lists newest
+    first).  Each pruned run loses its directory *and* any stale lease
+    file.
+
+    Returns:
+        ``(pruned, kept, refused)``: what was deleted, what was spared
+        (kept by ``keep``/``sealed_only``), and the running runs that
+        were refused.
+    """
+    if keep < 0:
+        raise ValueError("keep must be >= 0")
+    pruned: List[RunInfo] = []
+    kept: List[RunInfo] = []
+    refused: List[RunInfo] = []
+    prunable: List[RunInfo] = []
+    for info in list_runs(cache_root):
+        if info.status == "running":
+            refused.append(info)
+        elif sealed_only and info.status != "sealed":
+            kept.append(info)
+        else:
+            prunable.append(info)
+    kept.extend(prunable[:keep])
+    root = runs_root(cache_root)
+    for info in prunable[keep:]:
+        shutil.rmtree(info.directory, ignore_errors=True)
+        try:
+            os.unlink(os.path.join(root, f"{info.run_id}.lease"))
+        except OSError:
+            pass  # no (stale) lease left behind — the common case
+        pruned.append(info)
+    return pruned, kept, refused
+
+
+def _cmd_runs_prune(args: argparse.Namespace) -> int:
+    root = _cache_root(args)
+    try:
+        pruned, kept, refused = prune_runs(
+            root, keep=args.keep, sealed_only=args.sealed_only
+        )
+    except ValueError as error:
+        print(f"repro: error: {error}")
+        return 2
+    for info in refused:
+        print(f"  refused {info.run_id} ({info.kind}): running — a live "
+              f"orchestrator owns it")
+    for info in pruned:
+        print(f"  pruned {info.run_id} ({info.kind}, {info.status})")
+    print(
+        f"[runs prune: {len(pruned)} pruned, {len(kept)} kept, "
+        f"{len(refused)} running refused under {root}]"
+    )
+    return 0
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
     if args.runs_command == "list":
         return _cmd_runs_list(args)
     if args.runs_command == "show":
         return _cmd_runs_show(args)
+    if args.runs_command == "prune":
+        return _cmd_runs_prune(args)
     assert args.runs_command == "resume"
     return resume_run(
         _cache_root(args),

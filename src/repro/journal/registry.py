@@ -23,7 +23,7 @@ from repro.journal.lease import _read_state, _stale
 from repro.journal.log import replay_records
 from repro.journal.run import runs_root
 
-__all__ = ["RunInfo", "inspect_run", "list_runs"]
+__all__ = ["RunInfo", "inspect_run", "interrupted_runs", "list_runs"]
 
 
 @dataclass(frozen=True)
@@ -44,8 +44,28 @@ class RunInfo:
     manifest: Dict[str, Any]
 
 
+def _read_summary(directory: str) -> Optional[Dict[str, Any]]:
+    """The seal-time ``summary.json`` sidecar, if present and sane."""
+    try:
+        with open(
+            os.path.join(directory, "summary.json"), "r", encoding="utf-8"
+        ) as handle:
+            summary = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(summary, dict) or not summary.get("digest"):
+        return None
+    return summary
+
+
 def inspect_run(cache_root: str, run_id: str) -> Optional[RunInfo]:
-    """Durable state of one run, or ``None`` if it has no manifest."""
+    """Durable state of one run, or ``None`` if it has no manifest.
+
+    Sealed runs short-circuit through the seal-time ``summary.json``
+    sidecar — listing N sealed runs costs N small JSON reads, not N
+    full ``log.bin`` replays.  Unsealed runs (and sealed runs whose
+    sidecar write was lost to a crash) fall back to replay.
+    """
     root = runs_root(cache_root)
     directory = os.path.join(root, run_id)
     manifest_path = os.path.join(directory, "manifest.json")
@@ -54,6 +74,22 @@ def inspect_run(cache_root: str, run_id: str) -> Optional[RunInfo]:
             manifest = json.load(handle)
     except (OSError, ValueError):
         return None
+    summary = _read_summary(directory)
+    if summary is not None:
+        return RunInfo(
+            run_id=str(manifest.get("run_id", run_id)),
+            kind=str(manifest.get("kind", "?")),
+            status="sealed",
+            total_units=len(manifest.get("units", [])),
+            done_units=int(summary.get("done_units", 0)),
+            quarantined_units=int(summary.get("quarantined_units", 0)),
+            executed_units=int(summary.get("executed_units", 0)),
+            cached_units=int(summary.get("cached_units", 0)),
+            sealed_digest=str(summary["digest"]),
+            created_at=float(manifest.get("created_at", 0.0)),
+            directory=directory,
+            manifest=manifest,
+        )
     records, _valid = replay_records(os.path.join(directory, "log.bin"))
     known = set(manifest.get("units", []))
     done: Dict[str, bool] = {}
@@ -107,3 +143,18 @@ def list_runs(cache_root: str) -> List[RunInfo]:
             runs.append(info)
     runs.sort(key=lambda info: (-info.created_at, info.run_id))
     return runs
+
+
+def interrupted_runs(cache_root: str) -> List[RunInfo]:
+    """Resumable runs: no seal, no live lease — adoption candidates.
+
+    The ``repro serve`` control plane calls this at startup to re-adopt
+    runs whose orchestrator (possibly a previous server) died; each is
+    claimed one at a time via the normal lease steal when its job
+    actually executes, so two servers racing the same cache root
+    resolve per-run, not wholesale.
+    """
+    return [
+        info for info in list_runs(cache_root)
+        if info.status == "interrupted"
+    ]

@@ -24,11 +24,14 @@ from repro.resilience.chaos import (
     active_plan,
 )
 from repro.resilience.policy import RetryPolicy
-from repro.resilience.pool import SupervisedPool
+from repro.resilience.pool import PoolCounters, SupervisedPool
 from repro.resilience.quarantine import QuarantineLog, QuarantineRecord
 from repro.resilience.supervisor import (
     AttemptFailure,
+    DispatchCancelled,
     DispatchOutcome,
+    cancel_token,
+    set_cancel_token,
     supervised_map,
 )
 
@@ -37,11 +40,15 @@ __all__ = [
     "CHAOS_FAULT_KINDS",
     "ChaosCache",
     "ChaosPlan",
+    "DispatchCancelled",
     "DispatchOutcome",
+    "PoolCounters",
     "QuarantineLog",
     "QuarantineRecord",
     "RetryPolicy",
     "SupervisedPool",
     "active_plan",
+    "cancel_token",
+    "set_cancel_token",
     "supervised_map",
 ]

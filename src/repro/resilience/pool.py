@@ -46,7 +46,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["SupervisedPool", "WorkerEvent"]
+__all__ = ["PoolCounters", "SupervisedPool", "WorkerEvent"]
 
 #: One worker outcome: ``(kind, task_id, attempt, worker_id, payload)``
 #: where ``kind`` is ``"done"`` (payload is the result) or ``"error"``
@@ -131,6 +131,38 @@ def _worker_main(
 
 
 @dataclass
+class PoolCounters:
+    """Cumulative pool activity over the pool's lifetime.
+
+    The counters are observability surface only (the ``repro serve``
+    ``metrics`` verb, operator dashboards) — no dispatch decision reads
+    them.  ``submitted`` counts task hand-offs, ``completed``/``errored``
+    count parsed worker outcomes, ``crashes`` counts busy workers that
+    died mid-task, ``kills`` counts targeted :meth:`SupervisedPool.
+    kill_task` terminations, and ``respawns`` counts replacement workers
+    (crash reaps and kills both respawn; the initial spawn does not
+    count).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    errored: int = 0
+    crashes: int = 0
+    kills: int = 0
+    respawns: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "errored": self.errored,
+            "crashes": self.crashes,
+            "kills": self.kills,
+            "respawns": self.respawns,
+        }
+
+
+@dataclass
 class _Worker:
     """One supervised process and its private channels."""
 
@@ -153,6 +185,7 @@ class SupervisedPool:
 
     processes: int
     path: Optional[List[str]] = None
+    counters: PoolCounters = field(default_factory=PoolCounters)
     _ctx: Any = field(init=False, repr=False)
     _workers: Dict[int, _Worker] = field(
         init=False, repr=False, default_factory=dict
@@ -245,6 +278,7 @@ class SupervisedPool:
         for worker_id, worker in self._workers.items():
             if worker.task is None:
                 worker.task = (task_id, attempt)
+                self.counters.submitted += 1
                 try:
                     worker.task_writer.send(
                         (task_id, attempt, fn, payload, plan)
@@ -287,7 +321,11 @@ class SupervisedPool:
             del buffer[:end]
             events.append(pickle.loads(frame))
         for event in events:
-            _kind, task_id, attempt, _worker_id, _payload = event
+            kind, task_id, attempt, _worker_id, _payload = event
+            if kind == "done":
+                self.counters.completed += 1
+            elif kind == "error":
+                self.counters.errored += 1
             if worker.task == (task_id, attempt):
                 worker.task = None
         return events
@@ -333,8 +371,10 @@ class SupervisedPool:
             self._salvaged.extend(salvaged)
             if worker.task is not None:
                 lost.append(worker.task)
+                self.counters.crashes += 1
             self._discard(worker_id, kill=False)
             self._spawn()
+            self.counters.respawns += 1
         return lost
 
     def kill_task(self, task_id: str) -> bool:
@@ -348,5 +388,7 @@ class SupervisedPool:
             if worker.task is not None and worker.task[0] == task_id:
                 self._discard(worker_id, kill=True)
                 self._spawn()
+                self.counters.kills += 1
+                self.counters.respawns += 1
                 return True
         return False

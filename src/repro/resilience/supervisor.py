@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -35,7 +36,46 @@ from repro.resilience.chaos import ChaosPlan, active_plan
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.quarantine import QuarantineLog, QuarantineRecord
 
-__all__ = ["AttemptFailure", "DispatchOutcome", "supervised_map"]
+__all__ = [
+    "AttemptFailure",
+    "DispatchCancelled",
+    "DispatchOutcome",
+    "cancel_token",
+    "set_cancel_token",
+    "supervised_map",
+]
+
+
+class DispatchCancelled(RuntimeError):
+    """The dispatch was cancelled cooperatively mid-run.
+
+    Raised from inside :func:`supervised_map` when the caller's cancel
+    token is set: every in-flight unit's worker is killed (and
+    replaced), nothing further is dispatched, and — unlike every other
+    escaping exception — the shared pool is left *warm*, because a
+    cancellation is an orderly stop, not a wedged dispatcher.  Callers
+    that journal see the run left unsealed and resumable.
+    """
+
+
+_cancel_local = threading.local()
+
+
+def set_cancel_token(token: Optional[threading.Event]) -> None:
+    """Install this thread's ambient cancel token (``None`` clears it).
+
+    The token rides thread-local state rather than a parameter so that
+    callers several layers above the dispatch (``repro serve`` runs
+    whole pipelines per job thread) can arm cancellation without
+    threading a token through every driver signature.  Always clear in
+    a ``finally`` — thread pools reuse threads.
+    """
+    _cancel_local.token = token
+
+
+def cancel_token() -> Optional[threading.Event]:
+    """This thread's ambient cancel token, if one is installed."""
+    return getattr(_cancel_local, "token", None)
 
 
 @dataclass(frozen=True)
@@ -90,6 +130,7 @@ def supervised_map(
     on_dispatch: Optional[Callable[[str, int], None]] = None,
     context: str = "units",
     poll_interval_s: float = 0.05,
+    cancel: Optional[threading.Event] = None,
 ) -> DispatchOutcome:
     """Run every unit through the supervised pool; degrade, don't die.
 
@@ -116,6 +157,14 @@ def supervised_map(
             immediately before each pool submission (retries included)
             — the run journal's dispatch-intent hook (DESIGN.md §12).
         context: quarantine-record provenance tag.
+        cancel: cooperative stop switch (default: the thread's ambient
+            :func:`cancel_token`).  Checked once per dispatch-loop
+            iteration; when set, every in-flight unit's worker is
+            killed and :class:`DispatchCancelled` is raised with the
+            shared pool left warm.
+
+    Raises:
+        DispatchCancelled: the cancel token was set mid-dispatch.
     """
     policy = policy if policy is not None else RetryPolicy()
     plan = chaos if chaos is not None else active_plan()
@@ -158,9 +207,21 @@ def supervised_map(
         sequence += 1
         heapq.heappush(delayed, (ready_at, sequence, unit_id, attempt + 1))
 
+    stop = cancel if cancel is not None else cancel_token()
     pool = pool_factory(workers)
     try:
         while pending or delayed or inflight:
+            if stop is not None and stop.is_set():
+                # Orderly stop: kill only our own in-flight units (each
+                # killed worker is replaced, so the pool stays whole and
+                # warm for the next dispatch) and unwind.  Journaling
+                # callers leave the run unsealed — i.e. resumable.
+                for unit_id in list(inflight):
+                    pool.kill_task(unit_id)
+                raise DispatchCancelled(
+                    f"dispatch of {context} cancelled "
+                    f"({len(inflight)} in-flight unit(s) killed)"
+                )
             now = time.monotonic()
             while delayed and delayed[0][0] <= now:
                 _ready, _seq, unit_id, attempt = heapq.heappop(delayed)
@@ -221,6 +282,11 @@ def supervised_map(
                         "timeout",
                         f"exceeded {policy.unit_timeout_s}s deadline",
                     )
+    except DispatchCancelled:
+        # Cancellation is the one orderly exit: in-flight workers were
+        # already killed and respawned above, so the pool is clean and
+        # stays warm for the next job.
+        raise
     except BaseException:
         # A Ctrl-C lands in the workers too (same process group for
         # plain Pool workers; ours ignore SIGINT, but the dispatch

@@ -1,0 +1,36 @@
+"""``repro serve``: a crash-tolerant local control plane (DESIGN.md §13).
+
+An asyncio job server over a local stream socket: bounded admission
+with explicit backpressure, one-at-a-time scheduling onto the warm
+shared worker pool, journal-backed execution (every job is a PR 8 run,
+so ``kill -9`` + restart adopts interrupted work with zero re-executed
+units), cooperative cancellation and deadlines, live drain on
+SIGTERM/SIGINT, and streamed per-job progress events.
+"""
+
+from repro.serve.client import ServeClient, ServeUnavailable, wait_for_server
+from repro.serve.jobs import (
+    JOB_KINDS,
+    Job,
+    JobCancelled,
+    JournalTap,
+    execute_job,
+)
+from repro.serve.protocol import MAX_LINE, PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import ServeServer, default_socket_path
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobCancelled",
+    "JournalTap",
+    "MAX_LINE",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeServer",
+    "ServeUnavailable",
+    "default_socket_path",
+    "execute_job",
+    "wait_for_server",
+]

@@ -1,0 +1,392 @@
+"""Serve jobs: admission-time validation and journaled execution.
+
+A job is one fleet / reproduce / sweep invocation expressed as the
+journal's own canonical config payload (DESIGN.md §12) — which makes
+three properties fall out for free:
+
+* **deterministic identity**: the job's ``run_id`` is
+  :func:`~repro.journal.run.derive_run_id` over the same payload the
+  journal hashes, so resubmitting the same work maps to the same run
+  journal (and an active duplicate can be deduplicated at admission);
+* **crash-equivalence**: the server executes every job with
+  ``resume=True``, i.e. "adopt this run's journal if it exists, else
+  start it" — a job is indistinguishable from a resume of itself, so a
+  SIGKILLed server's restart re-adopts interrupted jobs with zero
+  re-execution of journaled units;
+* **reconstruction**: an adopted run's manifest alone rebuilds the job
+  (:func:`job_from_run_info`), no memory of the original submission
+  needed.
+
+Execution happens in a worker thread (``asyncio.to_thread``); the
+server's event loop stays responsive.  Progress streams out through a
+:class:`JournalTap` — a delegating wrapper around the run journal whose
+record hooks double as event emitters, so "what the client sees" is
+exactly "what became durable", in order.  Cancellation is cooperative
+and two-pronged: the thread's ambient
+:func:`~repro.resilience.supervisor.cancel_token` stops pooled
+dispatch between poll iterations (in-flight workers killed, pool kept
+warm), and the tap's ``record_dispatched`` hook stops inline
+(``workers=1``) execution between units.  Either way the journal is
+left unsealed — resumable — and the lease is released.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.journal.registry import RunInfo
+from repro.journal.run import RunJournal, derive_run_id
+from repro.resilience.supervisor import (
+    DispatchCancelled,
+    set_cancel_token,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobCancelled",
+    "JournalTap",
+    "execute_job",
+    "job_from_run_info",
+    "job_from_submission",
+]
+
+JOB_KINDS = ("fleet", "reproduce", "sweep")
+
+#: Statuses a job can end in (no further events after these).
+TERMINAL_STATUSES = (
+    "done", "failed", "cancelled", "expired", "drained",
+)
+
+Emit = Callable[..., None]
+
+
+class JobCancelled(DispatchCancelled):
+    """Inline-path cancellation, raised between units by the tap."""
+
+
+@dataclass
+class Job:
+    """One admitted (or adopted) unit of control-plane work."""
+
+    job_id: str
+    kind: str
+    payload: Dict[str, Any]
+    run_id: str
+    workers: int = 2
+    deadline_s: Optional[float] = None
+    adopted: bool = False
+    status: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    digest: Optional[str] = None
+    error: Optional[str] = None
+    counters: Dict[str, int] = field(default_factory=dict)
+    cancel: threading.Event = field(default_factory=threading.Event)
+    cancel_reason: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def request_cancel(self, reason: str) -> None:
+        """Arm cooperative cancellation (first reason wins)."""
+        if self.cancel_reason is None:
+            self.cancel_reason = reason
+        self.cancel.set()
+
+    def view(self) -> Dict[str, Any]:
+        """The wire-serializable status snapshot of this job."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "run_id": self.run_id,
+            "status": self.status,
+            "workers": self.workers,
+            "deadline_s": self.deadline_s,
+            "adopted": self.adopted,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "digest": self.digest,
+            "error": self.error,
+            "counters": dict(self.counters),
+        }
+
+
+def _normalized_payload(kind: str, config: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate + canonicalize a submission config for ``kind``.
+
+    Round-trips through the same payload constructors the journal
+    openers hash, so the admission-time ``run_id`` matches the journal
+    the execution will open bit-for-bit.
+
+    Raises:
+        ValueError: malformed config for this kind.
+    """
+    from repro.journal.pipelines import (
+        fleet_config_from_payload,
+        fleet_payload,
+        reproduce_payload,
+        reproduce_selection_from_payload,
+        spec_from_payload,
+        sweep_payload,
+    )
+
+    try:
+        if kind == "fleet":
+            return fleet_payload(fleet_config_from_payload(config))
+        if kind == "reproduce":
+            from repro.experiments.driver import ARTIFACTS
+
+            names, scale = reproduce_selection_from_payload(config)
+            unknown = set(names) - set(ARTIFACTS)
+            if unknown:
+                raise ValueError(
+                    f"unknown artifacts: {sorted(unknown)}"
+                )
+            ordered = [n for n in ARTIFACTS if n in names]
+            return reproduce_payload(ordered, scale)
+        if kind == "sweep":
+            return sweep_payload(spec_from_payload(config))
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ValueError(
+            f"malformed {kind} config: {type(exc).__name__}: {exc}"
+        ) from exc
+    raise ValueError(
+        f"unknown job kind {kind!r} (expected one of {JOB_KINDS})"
+    )
+
+
+def job_from_submission(
+    job_id: str, message: Dict[str, Any]
+) -> Job:
+    """Build a validated job from a ``submit`` message.
+
+    Raises:
+        ValueError: unknown kind, malformed config, or bad knobs.
+    """
+    kind = message.get("kind")
+    config = message.get("config")
+    if not isinstance(kind, str):
+        raise ValueError("submit needs a 'kind' string")
+    if not isinstance(config, dict):
+        raise ValueError("submit needs a 'config' object")
+    payload = _normalized_payload(kind, config)
+    raw_workers = message.get("workers")
+    workers = 2 if raw_workers is None else int(raw_workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    deadline_s = message.get("deadline_s")
+    if deadline_s is not None:
+        deadline_s = float(deadline_s)
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+    return Job(
+        job_id=job_id,
+        kind=kind,
+        payload=payload,
+        run_id=derive_run_id(kind, payload),
+        workers=workers,
+        deadline_s=deadline_s,
+    )
+
+
+def job_from_run_info(job_id: str, info: RunInfo) -> Job:
+    """Rebuild an adoptable job from an interrupted run's manifest."""
+    payload = dict(info.manifest.get("config", {}))
+    workers = int(info.manifest.get("plan", {}).get("workers", 2) or 2)
+    return Job(
+        job_id=job_id,
+        kind=info.kind,
+        payload=payload,
+        run_id=info.run_id,
+        workers=max(workers, 1),
+        adopted=True,
+    )
+
+
+class JournalTap:
+    """Delegating journal wrapper: durable records double as events.
+
+    Every attribute not overridden here reaches through to the wrapped
+    :class:`RunJournal`, so the pipelines use the tap exactly like the
+    journal.  The overridden record hooks (a) forward to the journal
+    first — an event is only ever emitted for a record that is already
+    durable — and (b) check the job's cancel flag on dispatch intent,
+    which is the between-units cancellation point for inline
+    (pool-free) execution paths.
+    """
+
+    def __init__(self, journal: RunJournal, job: Job, emit: Emit) -> None:
+        self._journal = journal
+        self._job = job
+        self._emit = emit
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._journal, name)
+
+    def _progress(self) -> Dict[str, int]:
+        stats = self._journal.stats
+        return {
+            "total": len(self._journal.units),
+            "done": stats.replayed + stats.executed + stats.cached,
+            "replayed": stats.replayed,
+            "executed": stats.executed,
+            "cached": stats.cached,
+            "quarantined": stats.quarantined,
+        }
+
+    def record_dispatched(self, unit_id: str, attempt: int) -> None:
+        if self._job.cancel.is_set():
+            raise JobCancelled(
+                f"job {self._job.job_id} cancelled before dispatching "
+                f"{unit_id}"
+            )
+        self._journal.record_dispatched(unit_id, attempt)
+
+    def record_done(
+        self,
+        unit_id: str,
+        payload: Any,
+        wall_s: float,
+        executed: bool = True,
+    ) -> None:
+        self._journal.record_done(
+            unit_id, payload, wall_s, executed=executed
+        )
+        self._emit(
+            "unit",
+            unit=unit_id,
+            executed=bool(executed),
+            progress=self._progress(),
+        )
+
+    def record_quarantined(self, unit_id: str, fault_kind: str) -> None:
+        self._journal.record_quarantined(unit_id, fault_kind)
+        self._emit(
+            "quarantined",
+            unit=unit_id,
+            fault=fault_kind,
+            progress=self._progress(),
+        )
+
+    def seal(self, digest: str) -> None:
+        self._journal.seal(digest)
+        self._emit("sealed", digest=digest, progress=self._progress())
+
+
+def execute_job(
+    job: Job, cache_root: str, emit: Emit
+) -> Dict[str, Any]:
+    """Run one job to completion in the calling (worker) thread.
+
+    Opens the job's journal in resume mode (adopt-or-create), installs
+    the thread's cancel token, runs the pipeline, and always closes the
+    journal — releasing the lease — on the way out, success or not.
+
+    Returns:
+        ``{"digest", "journal": {...counts...}, "cache": {...stats...}}``.
+
+    Raises:
+        DispatchCancelled: the job was cancelled (journal resumable).
+        Exception: whatever the pipeline raised (job failed).
+    """
+    from repro.cache import ResultCache
+    from repro.journal.pipelines import (
+        fleet_config_from_payload,
+        open_fleet_journal,
+        open_reproduce_journal,
+        open_sweep_journal,
+        reproduce_selection_from_payload,
+        spec_from_payload,
+    )
+
+    set_cancel_token(job.cancel)
+    journal: Optional[RunJournal] = None
+    cache: Optional[ResultCache] = None
+    try:
+        if job.kind == "fleet":
+            from repro.experiments.driver import FleetDriver
+
+            config = fleet_config_from_payload(job.payload)
+            journal = open_fleet_journal(
+                cache_root, config, job.workers,
+                resume=True, run_id=job.run_id,
+            )
+            tap = JournalTap(journal, job, emit)
+            emit(
+                "started",
+                run_id=journal.run_id,
+                units=len(journal.units),
+                replayed=journal.stats.replayed,
+            )
+            FleetDriver(
+                config, workers=job.workers, journal=tap
+            ).run()
+        elif job.kind == "reproduce":
+            from repro.experiments.driver import reproduce_all
+
+            names, scale = reproduce_selection_from_payload(job.payload)
+            journal = open_reproduce_journal(
+                cache_root, names, scale,
+                resume=True, run_id=job.run_id,
+            )
+            cache = ResultCache(cache_root)
+            tap = JournalTap(journal, job, emit)
+            emit(
+                "started",
+                run_id=journal.run_id,
+                units=len(journal.units),
+                replayed=journal.stats.replayed,
+            )
+            reproduce_all(
+                parallel=job.workers > 1,
+                workers=job.workers,
+                scale=scale,
+                only=names,
+                cache=cache,
+                journal=tap,
+            )
+        elif job.kind == "sweep":
+            from repro.sweep import SweepRunner
+
+            spec = spec_from_payload(job.payload)
+            journal = open_sweep_journal(
+                cache_root, spec, resume=True, run_id=job.run_id
+            )
+            cache = ResultCache(cache_root)
+            tap = JournalTap(journal, job, emit)
+            emit(
+                "started",
+                run_id=journal.run_id,
+                units=len(journal.units),
+                replayed=journal.stats.replayed,
+            )
+            SweepRunner(
+                spec, workers=job.workers, cache=cache, journal=tap
+            ).run()
+        else:  # pragma: no cover — admission validates kinds
+            raise ValueError(f"unknown job kind {job.kind!r}")
+        stats = journal.stats
+        return {
+            "digest": journal.sealed_digest,
+            "journal": {
+                "replayed": stats.replayed,
+                "executed": stats.executed,
+                "cached": stats.cached,
+                "quarantined": stats.quarantined,
+                "total": len(journal.units),
+            },
+            "cache": (
+                cache.stats.__dict__.copy() if cache is not None else {}
+            ),
+        }
+    finally:
+        set_cancel_token(None)
+        if journal is not None:
+            journal.close()

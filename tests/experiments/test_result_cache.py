@@ -348,3 +348,70 @@ def test_atomic_writes_under_multi_process_contention(tmp_path):
     assert payload["tag"] in ("alpha", "beta")
     assert payload["blob"] == b"x" * 4096
     assert final.stats.corrupt == 0
+
+
+# -- quarantine bound --------------------------------------------------------
+
+
+def test_quarantine_dir_is_bounded_to_keep_newest(tmp_path):
+    keys = [f"{i:02x}" * 32 for i in range(5)]
+    cache = ResultCache(str(tmp_path), quarantine_keep=3)
+    for key in keys:
+        cache.put(key, [1])
+        with open(cache._object_path(key), "wb") as handle:
+            handle.write(b"garbage")
+    fresh = ResultCache(str(tmp_path), quarantine_keep=3)
+    for key in keys:
+        assert fresh.get(key) is None  # every object corrupt → miss
+    assert fresh.stats.corrupt == 5
+    pkls = [
+        name for name in os.listdir(fresh.quarantine_dir)
+        if name.endswith(".pkl")
+    ]
+    assert len(pkls) == 3  # oldest two evicted
+    assert fresh.stats.pruned == 2
+    assert "pruned=2" in fresh.stats.render()
+
+
+def test_quarantine_prune_spares_the_units_log(tmp_path):
+    """``units.json`` (the QuarantineLog ledger) shares the quarantine
+    directory and must never be collected by the object bound."""
+    cache = ResultCache(str(tmp_path), quarantine_keep=1)
+    os.makedirs(cache.quarantine_dir, exist_ok=True)
+    ledger = os.path.join(cache.quarantine_dir, "units.json")
+    with open(ledger, "w", encoding="utf-8") as handle:
+        handle.write("[]")
+    keys = [f"{i:02x}" * 32 for i in range(3)]
+    for key in keys:
+        cache.put(key, [1])
+        with open(cache._object_path(key), "wb") as handle:
+            handle.write(b"garbage")
+    fresh = ResultCache(str(tmp_path), quarantine_keep=1)
+    for key in keys:
+        fresh.get(key)
+    assert os.path.exists(ledger)  # the ledger survived
+    pkls = [
+        name for name in os.listdir(fresh.quarantine_dir)
+        if name.endswith(".pkl")
+    ]
+    assert len(pkls) == 1
+    assert fresh.stats.pruned == 2
+
+
+def test_negative_quarantine_keep_disables_pruning(tmp_path):
+    keys = [f"{i:02x}" * 32 for i in range(4)]
+    cache = ResultCache(str(tmp_path), quarantine_keep=-1)
+    for key in keys:
+        cache.put(key, [1])
+        with open(cache._object_path(key), "wb") as handle:
+            handle.write(b"garbage")
+    fresh = ResultCache(str(tmp_path), quarantine_keep=-1)
+    for key in keys:
+        fresh.get(key)
+    pkls = [
+        name for name in os.listdir(fresh.quarantine_dir)
+        if name.endswith(".pkl")
+    ]
+    assert len(pkls) == 4
+    assert fresh.stats.pruned == 0
+    assert "pruned" not in fresh.stats.render()

@@ -67,6 +67,71 @@ def test_sigterm_unwinds_gracefully(tmp_path):
     assert "repro: terminated" in stderr
 
 
+def test_sigint_unwinds_gracefully(tmp_path):
+    """SIGINT → pool shutdown, "repro: interrupted", exit 130.
+
+    The Ctrl-C twin of the SIGTERM test: KeyboardInterrupt must reach
+    ``main``'s handler (130 = 128+SIGINT), not kill the process on the
+    default disposition, and must not leave pool workers behind.
+    """
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "fleet", "--nodes", "64",
+         "--seconds", "3600", "--workers", "2", "--no-journal"],
+        env=_env(str(tmp_path)),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        time.sleep(1.5)  # let the pool spin up and start simulating
+        assert proc.poll() is None, "fleet finished before the signal"
+        proc.send_signal(signal.SIGINT)
+        stderr = proc.communicate(timeout=60)[1]
+    finally:
+        if proc.poll() is None:  # pragma: no cover — hung orchestrator
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == 130, stderr
+    assert "repro: interrupted" in stderr
+
+
+def test_main_sigint_handler_shuts_shared_pool_down(monkeypatch, capsys):
+    """The 130 path really tears the warm pool down, in-process.
+
+    A KeyboardInterrupt that lands *outside* any supervised dispatch
+    (here: raised from the driver before dispatching) must still leave
+    ``shutdown_shared_pool`` called — no module-global pool, no live
+    worker processes.
+    """
+    from repro.experiments import driver as driver_module
+    from repro.cli import main
+
+    seen = {}
+
+    def grab_pool_then_interrupt(self):
+        pool = driver_module.shared_pool(2)
+        seen["procs"] = [
+            worker.process for worker in pool._workers.values()
+        ]
+        raise KeyboardInterrupt()
+
+    monkeypatch.setattr(
+        driver_module.FleetDriver, "run", grab_pool_then_interrupt
+    )
+    assert main(
+        ["fleet", "--nodes", "8", "--seconds", "10", "--workers", "2",
+         "--no-journal"]
+    ) == 130
+    assert "repro: interrupted" in capsys.readouterr().err
+    assert driver_module._shared_pool is None
+    # grow-never-shrink: a pool left warm by an earlier in-process test
+    # may hold more than the 2 workers requested here
+    assert len(seen["procs"]) >= 2
+    for process in seen["procs"]:
+        process.join(timeout=5.0)
+        assert not process.is_alive()
+
+
 @pytest.mark.slow
 def test_chaos_kill_parent_sweep_survives(tmp_path):
     """The full harness: SIGKILL mid-run, resume, bit-identical digest."""

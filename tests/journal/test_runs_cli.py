@@ -192,3 +192,100 @@ def test_fleet_journals_via_cache_env(capsys, cache_dir, monkeypatch):
     ) == 0
     resumed = capsys.readouterr().out
     assert "replayed=4 executed=0" in resumed
+
+
+# -- runs prune --------------------------------------------------------------
+
+
+def _seal_fleet(cache_dir, seed, nodes=2):
+    from repro.experiments.driver import FleetDriver
+    from repro.fleet.config import FleetConfig
+    from repro.journal.pipelines import open_fleet_journal
+
+    config = FleetConfig(
+        n_nodes=nodes, agent="overclock", seed=seed, duration_s=10
+    )
+    with open_fleet_journal(cache_dir, config, 1) as journal:
+        FleetDriver(config, workers=1, journal=journal).run()
+    return journal.run_id
+
+
+def test_runs_prune_empty_root(capsys, cache_dir):
+    assert main(["runs", "prune", "--cache-dir", cache_dir]) == 0
+    assert "0 pruned, 0 kept" in capsys.readouterr().out
+
+
+def test_runs_prune_deletes_sealed_runs(capsys, cache_dir):
+    a = _seal_fleet(cache_dir, seed=1)
+    b = _seal_fleet(cache_dir, seed=2)
+    assert main(["runs", "prune", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert f"pruned {a}" in out and f"pruned {b}" in out
+    assert "2 pruned, 0 kept, 0 running refused" in out
+    assert list_runs(cache_dir) == []
+
+
+def test_runs_prune_keep_spares_newest(capsys, cache_dir):
+    _seal_fleet(cache_dir, seed=1)
+    _seal_fleet(cache_dir, seed=2)
+    newest = list_runs(cache_dir)[0].run_id
+    assert main(
+        ["runs", "prune", "--keep", "1", "--cache-dir", cache_dir]
+    ) == 0
+    assert "1 pruned, 1 kept" in capsys.readouterr().out
+    (survivor,) = list_runs(cache_dir)
+    assert survivor.run_id == newest
+
+
+def test_runs_prune_sealed_only_keeps_interrupted(capsys, spec_path,
+                                                  cache_dir, monkeypatch):
+    interrupted = _interrupt_sweep(spec_path, cache_dir, monkeypatch)
+    _seal_fleet(cache_dir, seed=3)
+    assert main(
+        ["runs", "prune", "--sealed-only", "--cache-dir", cache_dir]
+    ) == 0
+    assert "1 pruned, 1 kept" in capsys.readouterr().out
+    (survivor,) = list_runs(cache_dir)
+    assert survivor.run_id == interrupted
+    assert survivor.status == "interrupted"  # still resumable
+
+
+def test_runs_prune_refuses_running_run(capsys, cache_dir):
+    from repro.fleet.config import FleetConfig
+    from repro.journal.pipelines import open_fleet_journal
+
+    config = FleetConfig(
+        n_nodes=2, agent="overclock", seed=4, duration_s=10
+    )
+    journal = open_fleet_journal(cache_dir, config, 1)
+    try:
+        assert main(["runs", "prune", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"refused {journal.run_id}" in out
+        assert "1 running refused" in out
+        (info,) = list_runs(cache_dir)
+        assert info.status == "running"
+    finally:
+        journal.close()
+
+
+def test_runs_prune_negative_keep_is_usage_error(capsys, cache_dir):
+    assert main(
+        ["runs", "prune", "--keep", "-1", "--cache-dir", cache_dir]
+    ) == 2
+    assert "keep must be >= 0" in capsys.readouterr().out
+
+
+def test_runs_prune_removes_stale_lease_files(cache_dir):
+    import os
+
+    from repro.journal.run import runs_root
+
+    run_id = _seal_fleet(cache_dir, seed=5)
+    # fabricate a stale lease left behind by a dead owner
+    stale = os.path.join(runs_root(cache_dir), f"{run_id}.lease")
+    with open(stale, "w", encoding="utf-8") as handle:
+        handle.write("{}")
+    assert main(["runs", "prune", "--cache-dir", cache_dir]) == 0
+    assert not os.path.exists(stale)
+    assert list_runs(cache_dir) == []

@@ -162,3 +162,91 @@ def test_escaping_exception_tears_the_pool_down(pool_env):
         )
     assert state.get("shutdowns") == 1
     assert "pool" not in state  # the wedged pool was discarded
+
+
+def _slow(payload):
+    import time
+
+    time.sleep(30)
+    return payload
+
+
+def test_preset_cancel_token_stops_dispatch_and_keeps_pool_warm(pool_env):
+    import threading
+
+    from repro.resilience import DispatchCancelled
+
+    factory, shutdown, state = pool_env
+    cancel = threading.Event()
+    cancel.set()
+    with pytest.raises(DispatchCancelled):
+        supervised_map(
+            _double, [("u0", 1), ("u1", 2)], workers=2,
+            pool_factory=factory, pool_shutdown=shutdown,
+            policy=FAST, cancel=cancel,
+        )
+    # Cancellation is not a fault: the pool must NOT be torn down (the
+    # serve scheduler keeps it warm for the next job).
+    assert state.get("shutdowns", 0) == 0
+    assert "pool" in state
+
+
+def test_cancel_mid_dispatch_kills_inflight_units(pool_env):
+    import threading
+
+    from repro.resilience import DispatchCancelled
+
+    factory, shutdown, state = pool_env
+    cancel = threading.Event()
+
+    def cancel_on_first_dispatch(unit_id, attempt):
+        cancel.set()
+
+    with pytest.raises(DispatchCancelled, match="in-flight"):
+        supervised_map(
+            _slow, [("u0", 1), ("u1", 2)], workers=2,
+            pool_factory=factory, pool_shutdown=shutdown,
+            policy=FAST, cancel=cancel,
+            on_dispatch=cancel_on_first_dispatch,
+        )
+    assert state.get("shutdowns", 0) == 0  # warm pool preserved
+    # the pool is still usable for the next dispatch
+    outcome = supervised_map(
+        _double, [("u2", 3)], workers=2,
+        pool_factory=factory, pool_shutdown=shutdown, policy=FAST,
+    )
+    assert outcome.results == {"u2": 6}
+
+
+def test_ambient_cancel_token_is_per_thread(pool_env):
+    import threading
+
+    from repro.resilience import (
+        DispatchCancelled,
+        cancel_token,
+        set_cancel_token,
+    )
+
+    factory, shutdown, _ = pool_env
+    token = threading.Event()
+    token.set()
+    set_cancel_token(token)
+    try:
+        assert cancel_token() is token
+        with pytest.raises(DispatchCancelled):
+            supervised_map(
+                _double, [("u0", 1)], workers=2,
+                pool_factory=factory, pool_shutdown=shutdown,
+                policy=FAST,
+            )
+    finally:
+        set_cancel_token(None)
+    assert cancel_token() is None
+    # other threads never see this thread's token
+    seen = {}
+    other = threading.Thread(
+        target=lambda: seen.update(token=cancel_token())
+    )
+    other.start()
+    other.join()
+    assert seen["token"] is None
