@@ -37,10 +37,12 @@ __all__ = ["code_salt", "sweep_unit_key", "unit_key"]
 #: subsystem, ``resilience`` only supervises dispatch (units are pure
 #: in their payloads, so retries and pool mechanics cannot move a
 #: result bit), ``journal`` only records dispatch durably (same
-#: argument — replayed payloads were produced by the salted code), and
-#: the CLI only orchestrates.
+#: argument — replayed payloads were produced by the salted code),
+#: ``obs`` only observes (spans and metrics are strictly out-of-band;
+#: DESIGN.md §14 — an instrumentation edit must not invalidate every
+#: cached row), and the CLI only orchestrates.
 _SALT_EXCLUDED_DIRS = frozenset(
-    {"cache", "journal", "perf", "resilience", "__pycache__"}
+    {"cache", "journal", "obs", "perf", "resilience", "__pycache__"}
 )
 _SALT_EXCLUDED_FILES = frozenset({"cli.py"})
 

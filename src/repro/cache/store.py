@@ -13,9 +13,10 @@ garbage where a content-addressed object should be), counted in
 :attr:`CacheStats.corrupt`, and surfaced on the ``[cache:]`` CLI line;
 the unit then reruns and stores a fresh object (DESIGN.md §11).
 
-The store also keeps ``unit_walls.json`` — measured per-unit wall
-times that the driver feeds back into longest-first dispatch (replacing
-its estimated-cost heuristic; DESIGN.md §8).
+The store also keeps ``unit_timings.json`` — per-unit wall-time
+histogram summaries (count/total/min/max/last) that the driver feeds
+back into longest-first dispatch via its ``last`` field (replacing the
+estimated-cost heuristic; DESIGN.md §8 and §14).
 """
 
 from __future__ import annotations
@@ -26,6 +27,9 @@ import pickle
 import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
+
+from repro.obs import spans as obs
+from repro.obs.metrics import MetricsRegistry, counter_property
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
 
@@ -42,9 +46,15 @@ def default_cache_dir() -> str:
     )
 
 
-@dataclass
 class CacheStats:
     """Hit/miss/store counters for one :class:`ResultCache` instance.
+
+    Registry-backed (DESIGN.md §14): the counters live in a
+    :class:`~repro.obs.metrics.MetricsRegistry`, so a run's telemetry
+    sidecar and the serve ``metrics`` verb read the same storage the
+    ``[cache:]`` CLI line renders.  The int-compatible properties keep
+    every legacy mutation site (``stats.hits += 1``) and comparison
+    unchanged.
 
     ``corrupt`` counts present-but-unreadable objects that were moved
     to quarantine (each such get also counts as a miss — the unit
@@ -53,11 +63,26 @@ class CacheStats:
     (:attr:`ResultCache.quarantine_keep`).
     """
 
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    corrupt: int = 0
-    pruned: int = 0
+    FIELDS = ("hits", "misses", "stores", "corrupt", "pruned")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+
+    hits = counter_property("cache.hits")
+    misses = counter_property("cache.misses")
+    stores = counter_property("cache.stores")
+    corrupt = counter_property("cache.corrupt")
+    pruned = counter_property("cache.pruned")
+
+    def snapshot(self) -> Dict[str, int]:
+        """Wire-serializable counter values (one consistent read)."""
+        counters = self.registry.snapshot().get("counters", {})
+        return {
+            name: int(counters.get(f"cache.{name}", 0))
+            for name in self.FIELDS
+        }
 
     def render(self) -> str:
         line = f"hits={self.hits} misses={self.misses} stores={self.stores}"
@@ -101,22 +126,29 @@ class ResultCache:
         stores a fresh object.  Garbage is never returned.
         """
         path = self._object_path(key)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return default
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError):
-            # Truncated, garbled, or stale-beyond-unpickling: quarantine
-            # the evidence, then degrade to a miss.
-            self._quarantine_object(key, path)
-            self.stats.misses += 1
-            self.stats.corrupt += 1
-            return default
-        self.stats.hits += 1
-        return payload
+        with obs.span("cache.get", cat="cache", key=key[:16]) as sp:
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                if sp is not None:
+                    sp.args["outcome"] = "miss"
+                return default
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError, ValueError):
+                # Truncated, garbled, or stale-beyond-unpickling:
+                # quarantine the evidence, then degrade to a miss.
+                self._quarantine_object(key, path)
+                self.stats.misses += 1
+                self.stats.corrupt += 1
+                if sp is not None:
+                    sp.args["outcome"] = "corrupt"
+                return default
+            self.stats.hits += 1
+            if sp is not None:
+                sp.args["outcome"] = "hit"
+            return payload
 
     def _quarantine_object(self, key: str, path: str) -> None:
         """Move a corrupt object into quarantine (best-effort)."""
@@ -168,38 +200,88 @@ class ResultCache:
     def put(self, key: str, payload: Any) -> None:
         """Atomically store ``payload`` under ``key``."""
         path = self._object_path(key)
-        self._atomic_write(
-            path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        )
-        self.stats.stores += 1
+        with obs.span("cache.put", cat="cache", key=key[:16]):
+            self._atomic_write(
+                path,
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+            self.stats.stores += 1
 
-    # -- recorded unit walls -------------------------------------------------
+    # -- recorded unit timings ----------------------------------------------
+
+    #: Histogram summary fields persisted per unit key.
+    TIMING_FIELDS = ("count", "total", "min", "max", "last")
 
     @property
-    def _walls_path(self) -> str:
-        return os.path.join(self.directory, "unit_walls.json")
+    def _timings_path(self) -> str:
+        return os.path.join(self.directory, "unit_timings.json")
 
-    def load_unit_walls(self) -> Dict[str, float]:
-        """Recorded per-unit wall seconds (empty when none recorded)."""
+    def load_unit_timings(self) -> Dict[str, Dict[str, float]]:
+        """Persisted per-unit wall histograms (empty when none)."""
         try:
-            with open(self._walls_path, "r", encoding="utf-8") as handle:
+            with open(self._timings_path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except (OSError, ValueError):
             return {}
-        return {
-            str(key): float(value)
-            for key, value in data.items()
-            if isinstance(value, (int, float))
-        }
+        if not isinstance(data, dict):
+            return {}
+        out: Dict[str, Dict[str, float]] = {}
+        for key, summary in data.items():
+            if not isinstance(summary, dict):
+                continue
+            if not isinstance(summary.get("last"), (int, float)):
+                continue
+            out[str(key)] = {
+                name: summary[name]
+                for name in self.TIMING_FIELDS
+                if isinstance(summary.get(name), (int, float))
+            }
+        return out
 
-    def save_unit_walls(self, walls: Dict[str, float]) -> None:
-        """Merge ``walls`` into the recorded set (atomic rewrite)."""
-        merged = self.load_unit_walls()
-        merged.update(
-            {key: round(float(value), 6) for key, value in walls.items()}
-        )
+    def save_unit_timings(
+        self, timings: Dict[str, Dict[str, Any]]
+    ) -> None:
+        """Merge histogram summaries into the persisted set.
+
+        Counts and totals accumulate across runs, min/max widen, and
+        ``last`` — the value longest-first dispatch reads — takes the
+        incoming (fresher) observation.  Atomic rewrite, same contract
+        as object stores.
+        """
+        merged = self.load_unit_timings()
+        for key, incoming in timings.items():
+            if not isinstance(incoming, dict):
+                continue
+            if not isinstance(incoming.get("last"), (int, float)):
+                continue
+            prior = merged.get(key)
+            if prior is None:
+                prior = {
+                    "count": 0, "total": 0.0,
+                    "min": None, "max": None, "last": None,
+                }
+            count = int(incoming.get("count", 0) or 0)
+            summary = {
+                "count": int(prior.get("count", 0) or 0) + count,
+                "total": round(
+                    float(prior.get("total", 0.0) or 0.0)
+                    + float(incoming.get("total", 0.0) or 0.0),
+                    6,
+                ),
+                "last": round(float(incoming["last"]), 6),
+            }
+            for name, pick in (("min", min), ("max", max)):
+                candidates = [
+                    float(value)
+                    for value in (prior.get(name), incoming.get(name))
+                    if isinstance(value, (int, float))
+                ]
+                summary[name] = (
+                    round(pick(candidates), 6) if candidates else None
+                )
+            merged[key] = summary
         self._atomic_write(
-            self._walls_path,
+            self._timings_path,
             json.dumps(merged, indent=0, sort_keys=True).encode("utf-8"),
         )
 

@@ -70,6 +70,8 @@ from repro.fleet.config import (
 )
 from repro.journal.cli import add_runs_parser, cmd_runs, journal_status_line
 from repro.journal.lease import LeaseHeldError
+from repro.obs import run_tracing
+from repro.obs.cli import add_trace_parser, cmd_trace
 from repro.serve.cli import add_serve_parser, cmd_serve
 
 __all__ = ["main"]
@@ -106,6 +108,12 @@ def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
         "--no-journal", dest="journal", action="store_false", default=True,
         help="disable the crash-consistent run journal (the run is not "
              "resumable after an orchestrator death)",
+    )
+    parser.add_argument(
+        "--no-trace", dest="trace", action="store_false", default=True,
+        help="disable the telemetry sidecar (trace.jsonl/metrics.json "
+             "next to the run journal); results and digests are "
+             "bit-identical either way (DESIGN.md §14)",
     )
 
 
@@ -343,6 +351,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_runs_parser(sub)
 
+    add_trace_parser(sub)
+
     add_conformance_parser(sub)
 
     bench = sub.add_parser(
@@ -389,6 +399,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compare two existing bench reports instead of running "
              "anything: print a per-benchmark ratio table and exit "
              "non-zero past the --max-regression gate",
+    )
+    bench.add_argument(
+        "--gate", choices=("each", "geomean"), default="each",
+        help="regression-gate granularity: 'each' floors every shared "
+             "benchmark, 'geomean' floors only the suite geomean ratio "
+             "(use for tight thresholds where per-benchmark noise "
+             "dominates; default: %(default)s)",
+    )
+    bench.add_argument(
+        "--trace", action="store_true",
+        help="run the suite with an active in-memory tracer (no "
+             "sidecar); CI's obs-smoke job compares --trace vs plain "
+             "reports to gate tracing overhead",
     )
     return parser
 
@@ -489,7 +512,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             journal=journal,
         )
         started = time.perf_counter()
-        aggregate = driver.run()
+        with run_tracing(
+            journal, enabled_=args.trace,
+            kind="fleet", nodes=args.nodes, workers=args.workers,
+        ):
+            aggregate = driver.run()
         wall = time.perf_counter() - started
         print(aggregate.render())
         # driver.workers, not args.workers: the pool is capped at n_nodes.
@@ -537,18 +564,22 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
         )
     started = time.perf_counter()
     try:
-        runs = reproduce_all(
-            parallel=args.parallel,
-            workers=args.workers,
-            scale=scale,
-            only=args.only,
-            on_result=_print_run,
-            granularity=args.granularity,
-            cache=cache,
-            resilience=_retry_policy(args),
-            quarantine=quarantine,
-            journal=journal,
-        )
+        with run_tracing(
+            journal, enabled_=args.trace,
+            kind="reproduce", scale=scale, workers=args.workers,
+        ):
+            runs = reproduce_all(
+                parallel=args.parallel,
+                workers=args.workers,
+                scale=scale,
+                only=args.only,
+                on_result=_print_run,
+                granularity=args.granularity,
+                cache=cache,
+                resilience=_retry_policy(args),
+                quarantine=quarantine,
+                journal=journal,
+            )
         wall = time.perf_counter() - started
         mode = (
             f"parallel/{args.granularity}" if args.parallel else "serial"
@@ -677,7 +708,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             quarantine=quarantine,
             journal=journal,
         )
-        report = runner.run()
+        with run_tracing(
+            journal, enabled_=args.trace,
+            kind="sweep", campaign=spec.name, workers=args.workers,
+        ):
+            report = runner.run()
         print(report.render())
         print(
             f"[sweep: {len(report.records)} cells, "
@@ -899,9 +934,13 @@ def _kill_parent_resume(args: argparse.Namespace, root: str, run_id: str):
         with open_fleet_journal(
             root, config, args.workers, resume=True, run_id=run_id
         ) as journal:
-            FleetDriver(
-                config, workers=args.workers, journal=journal
-            ).run()
+            # A resumed run appends a second process segment to the
+            # sidecar the killed orchestrator started — the merged
+            # trace carries both (DESIGN.md §14).
+            with run_tracing(journal, kind="fleet", resumed=True):
+                FleetDriver(
+                    config, workers=args.workers, journal=journal
+                ).run()
         return journal
     if info.kind == "reproduce":
         names, scale = reproduce_selection_from_payload(
@@ -910,10 +949,11 @@ def _kill_parent_resume(args: argparse.Namespace, root: str, run_id: str):
         with open_reproduce_journal(
             root, names, scale, resume=True, run_id=run_id
         ) as journal:
-            reproduce_all(
-                parallel=args.workers > 1, workers=args.workers,
-                scale=scale, only=names, cache=cache, journal=journal,
-            )
+            with run_tracing(journal, kind="reproduce", resumed=True):
+                reproduce_all(
+                    parallel=args.workers > 1, workers=args.workers,
+                    scale=scale, only=names, cache=cache, journal=journal,
+                )
         return journal
     spec = spec_from_payload(info.manifest["config"])
     from repro.sweep import SweepRunner
@@ -921,9 +961,10 @@ def _kill_parent_resume(args: argparse.Namespace, root: str, run_id: str):
     with open_sweep_journal(
         root, spec, resume=True, run_id=run_id
     ) as journal:
-        SweepRunner(
-            spec, workers=args.workers, cache=cache, journal=journal
-        ).run()
+        with run_tracing(journal, kind="sweep", resumed=True):
+            SweepRunner(
+                spec, workers=args.workers, cache=cache, journal=journal
+            ).run()
     return journal
 
 
@@ -1013,6 +1054,31 @@ def _chaos_kill_parent(args: argparse.Namespace) -> int:
         else:
             print(f"[resumed: digest {journal.sealed_digest} matches "
                   f"uninterrupted run]")
+        # Observability across the kill (DESIGN.md §14): the killed
+        # process wrote trace segment 0, the resume appended segment 1;
+        # the merged sidecar must export a valid Chrome trace.
+        from repro.obs.export import chrome_trace
+        from repro.obs.sidecar import read_trace, segments, trace_path
+
+        trace_records = read_trace(trace_path(info.directory))
+        heads = segments(trace_records)
+        if len(heads) < 2:
+            failures.append(
+                f"telemetry: expected >= 2 trace segments "
+                f"(killed + resumed), found {len(heads)}"
+            )
+        else:
+            events = chrome_trace(trace_records).get("traceEvents", [])
+            if not events:
+                failures.append(
+                    "telemetry: merged trace exported no chrome events"
+                )
+            else:
+                print(
+                    f"[telemetry: trace.jsonl merged "
+                    f"{len(heads)} process segments, "
+                    f"{len(events)} chrome event(s)]"
+                )
         return _kill_parent_verdict(failures)
     finally:
         shutil.rmtree(root, ignore_errors=True)
@@ -1139,7 +1205,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for warning in compare_warnings(new, baseline):
             print(f"WARNING: {warning}", file=sys.stderr)
         problems = compare_reports(
-            new, baseline, max_regression=args.max_regression
+            new, baseline, max_regression=args.max_regression,
+            gate=args.gate,
         )
         if problems:
             for problem in problems:
@@ -1147,7 +1214,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(
             f"[no regression vs {baseline_path} "
-            f"(gate: {args.max_regression:.0%})]"
+            f"(gate: {args.max_regression:.0%} per {args.gate})]"
         )
         return 0
 
@@ -1159,7 +1226,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "workloads": build_workloads_report,
         "all": build_all_report,
     }[args.suite]
-    report = builder(quick=args.quick, repeats=args.repeats)
+    if args.trace:
+        # In-memory tracer, no sidecar: the point is to measure the
+        # enabled-path overhead itself (CI's obs-smoke bench gate).
+        from repro.obs import spans as obs_spans
+
+        tracer = obs_spans.activate(obs_spans.Tracer())
+        try:
+            report = builder(quick=args.quick, repeats=args.repeats)
+        finally:
+            obs_spans.deactivate()
+        print(f"[trace: {len(tracer.drain())} span record(s) buffered "
+              f"during the suite]")
+    else:
+        report = builder(quick=args.quick, repeats=args.repeats)
     output = args.output or f"BENCH_{args.suite}.json"
     print(render_report(report))
     write_report(report, output)
@@ -1170,7 +1250,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for warning in compare_warnings(report, baseline):
             print(f"WARNING: {warning}", file=sys.stderr)
         problems = compare_reports(
-            report, baseline, max_regression=args.max_regression
+            report, baseline, max_regression=args.max_regression,
+            gate=args.gate,
         )
         if problems:
             for problem in problems:
@@ -1213,6 +1294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cmd_serve(args)
         if args.command == "runs":
             return cmd_runs(args)
+        if args.command == "trace":
+            return cmd_trace(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except LeaseHeldError as error:

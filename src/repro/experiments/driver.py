@@ -56,6 +56,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache import ResultCache, unit_key
 from repro.experiments.common import ExperimentResult, experiment_digest
+from repro.obs import spans as obs
+from repro.obs.metrics import HistogramFamily
 from repro.fleet.aggregate import FleetAggregate, FleetAggregateBuilder
 from repro.fleet.config import FleetConfig
 from repro.fleet.node import NodeResult
@@ -235,6 +237,13 @@ class FleetDriver:
         quarantined — the aggregate then reports their node ids as
         explicit ``holes`` instead of the run dying.
         """
+        with obs.span(
+            "pipeline", cat="fleet",
+            nodes=self.config.n_nodes, workers=self.workers,
+        ):
+            return self._run()
+
+    def _run(self) -> FleetAggregate:
         if self.journal is not None:
             return self._run_journaled()
         if self.workers == 1:
@@ -308,7 +317,8 @@ class FleetDriver:
                 for unit_id, payload in pending:
                     journal.record_dispatched(unit_id, 0)
                     started = time.perf_counter()
-                    results = _run_shard(payload)
+                    with obs.span(unit_id, cat="unit", context="fleet"):
+                        results = _run_shard(payload)
                     journal.record_done(
                         unit_id, results, time.perf_counter() - started
                     )
@@ -509,10 +519,14 @@ def _estimated_unit_cost(name: str, n_units: int, scale: float) -> float:
 
 _CACHE_MISS = object()
 
-#: Measured wall seconds per executed work unit, keyed by
-#: ``"artifact/series@scale"``.  Session-wide; merged with (and
-#: persisted to) the cache's recorded set when a cache is in play.
-_recorded_unit_walls: Dict[str, float] = {}
+#: Measured wall-time histograms per work unit, keyed by
+#: ``"artifact/series@scale"`` (DESIGN.md §14).  Session-wide; merged
+#: with (and persisted to) the cache's recorded summaries when a cache
+#: is in play.  Longest-first dispatch reads each key's ``last``
+#: observation — exactly the value the old flat ``unit_walls.json``
+#: table held — while count/total/min/max accumulate for ``repro runs
+#: show --timing`` and the telemetry sidecar.
+_unit_timings = HistogramFamily()
 
 
 def _wall_key(name: str, series: Optional[str], scale: float) -> str:
@@ -525,9 +539,18 @@ def _cache_key(name: str, series: Optional[str], scale: float) -> str:
 
 
 def _record_wall(
-    name: str, series: Optional[str], scale: float, wall: float
+    name: str,
+    series: Optional[str],
+    scale: float,
+    wall: float,
+    executed: Optional[Dict[str, float]] = None,
 ) -> None:
-    _recorded_unit_walls[_wall_key(name, series, scale)] = wall
+    """Record one executed unit's measured wall (the single site both
+    the cached-serial and the series-granular paths call)."""
+    key = _wall_key(name, series, scale)
+    _unit_timings.observe(key, wall)
+    if executed is not None:
+        executed[key] = wall
 
 
 def _dispatch_costs(
@@ -553,7 +576,7 @@ def _dispatch_costs(
             name, len(units_by_artifact[name]), scale
         )
         estimated[(name, series)] = estimate
-        wall = _recorded_unit_walls.get(_wall_key(name, series, scale))
+        wall = _unit_timings.last(_wall_key(name, series, scale))
         if wall is not None:
             measured[(name, series)] = wall
             ratios.append(wall / estimate)
@@ -569,15 +592,17 @@ def _dispatch_costs(
 
 def _load_recorded_walls(cache: Optional[ResultCache]) -> None:
     if cache is not None:
-        for key, wall in cache.load_unit_walls().items():
-            _recorded_unit_walls.setdefault(key, wall)
+        # Session-recorded observations win over persisted summaries
+        # (the old ``setdefault`` merge): the family keeps its own
+        # ``last`` for keys measured this session.
+        _unit_timings.absorb(cache.load_unit_timings())
 
 
 def _persist_recorded_walls(
     cache: Optional[ResultCache], executed: Dict[str, float]
 ) -> None:
     if cache is not None and executed:
-        cache.save_unit_walls(executed)
+        cache.save_unit_timings(_unit_timings.export(executed))
 
 
 def _assemble_artifact(
@@ -667,6 +692,29 @@ def reproduce_all(
         ``wall_seconds`` is the *sum* of its executed units' walls (its
         CPU cost — near zero on a warm cache), not its elapsed span.
     """
+    with obs.span(
+        "pipeline", cat="reproduce",
+        scale=scale, parallel=parallel, granularity=granularity,
+    ):
+        return _reproduce_all_impl(
+            parallel, workers, scale, only, on_result, granularity,
+            cache, resilience, quarantine, chaos, journal,
+        )
+
+
+def _reproduce_all_impl(
+    parallel: bool,
+    workers: Optional[int],
+    scale: float,
+    only: Optional[Sequence[str]],
+    on_result: Optional[Callable[[ArtifactRun], None]],
+    granularity: str,
+    cache: Optional[ResultCache],
+    resilience: Optional[RetryPolicy],
+    quarantine: Optional[QuarantineLog],
+    chaos: Optional[ChaosPlan],
+    journal: Optional[RunJournal],
+) -> List[ArtifactRun]:
     if granularity not in ("series", "artifact"):
         raise ValueError(f"unknown granularity {granularity!r}")
     if journal is not None and granularity != "series":
@@ -734,13 +782,16 @@ def _run_artifact_cached(
         key = _cache_key(name, series, scale)
         payload = cache.get(key, _CACHE_MISS)
         if payload is _CACHE_MISS:
-            _n, _s, payload, unit_wall = _run_series_unit(
-                (name, series, scale)
-            )
+            with obs.span(
+                _wall_key(name, series, scale), cat="unit",
+                context="reproduce",
+            ):
+                _n, _s, payload, unit_wall = _run_series_unit(
+                    (name, series, scale)
+                )
             cache.put(key, payload)
             wall += unit_wall
-            _record_wall(name, series, scale, unit_wall)
-            executed[_wall_key(name, series, scale)] = unit_wall
+            _record_wall(name, series, scale, unit_wall, executed)
         collected[series] = payload
     return _assemble_artifact(name, scale, collected, wall)
 
@@ -933,8 +984,7 @@ def _reproduce_series_granular(
                 # a cached-but-unjournaled unit, which a resume simply
                 # re-loads from the cache (never re-executes twice).
                 journal.record_done(unit_id, payload, wall)
-            _record_wall(name, series, scale, wall)
-            executed_walls[_wall_key(name, series, scale)] = wall
+            _record_wall(name, series, scale, wall, executed_walls)
             collected[name][series] = payload
             walls[name] += wall
             remaining[name] -= 1
@@ -963,9 +1013,13 @@ def _reproduce_series_granular(
                     unit_id = _wall_key(name, series, scale)
                     if journal is not None:
                         journal.record_dispatched(unit_id, 0)
-                    handle_result(
-                        unit_id, _run_series_unit((name, series, scale))
-                    )
+                    with obs.span(
+                        unit_id, cat="unit", context="reproduce"
+                    ):
+                        unit_result = _run_series_unit(
+                            (name, series, scale)
+                        )
+                    handle_result(unit_id, unit_result)
             else:
                 supervised_map(
                     _run_series_unit,

@@ -3,9 +3,14 @@
 Subcommands::
 
     repro runs list [--cache-dir PATH]
-    repro runs show RUN_ID [--cache-dir PATH]
-    repro runs resume RUN_ID [--workers N] [--cache-dir PATH]
+    repro runs show RUN_ID [--timing] [--cache-dir PATH]
+    repro runs resume RUN_ID [--workers N] [--no-trace] [--cache-dir PATH]
     repro runs prune [--keep N] [--sealed-only] [--cache-dir PATH]
+
+``show --timing`` reconstructs a per-unit wall / attempts / source
+table purely from the run's durable journal records, so the breakdown
+works for interrupted runs too; units slower than 3x the median wall
+are flagged as outliers.
 
 ``resume`` rebuilds the pipeline from the run's manifest alone (fleet
 config, artifact selection, or campaign spec — whatever the original
@@ -24,8 +29,11 @@ import time
 from typing import List, Optional, Tuple
 
 from repro.cache import ResultCache, default_cache_dir
+from repro.journal.log import replay_records
 from repro.journal.registry import RunInfo, inspect_run, list_runs
 from repro.journal.run import RunJournal, runs_root
+from repro.obs import run_tracing
+from repro.obs.sidecar import read_trace, segments, trace_path
 
 __all__ = [
     "add_runs_parser",
@@ -33,7 +41,11 @@ __all__ = [
     "journal_status_line",
     "prune_runs",
     "resume_run",
+    "timing_rows",
 ]
+
+#: Walls this many times over the median are flagged as outliers.
+OUTLIER_FACTOR = 3.0
 
 
 def journal_status_line(journal: RunJournal) -> str:
@@ -71,6 +83,11 @@ def add_runs_parser(sub: argparse._SubParsersAction) -> None:
         "show", help="one run's manifest, progress, and status"
     )
     runs_show.add_argument("run_id", metavar="RUN_ID")
+    runs_show.add_argument(
+        "--timing", action="store_true",
+        help="per-unit wall/attempts/source table rebuilt from the "
+             "journal records (works for interrupted runs)",
+    )
     runs_show.add_argument("--cache-dir", metavar="PATH", default=None)
     runs_resume = runs_sub.add_parser(
         "resume",
@@ -87,6 +104,11 @@ def add_runs_parser(sub: argparse._SubParsersAction) -> None:
     runs_resume.add_argument(
         "--no-cache", dest="cache", action="store_false", default=True,
         help="do not consult the result cache for remaining units",
+    )
+    runs_resume.add_argument(
+        "--no-trace", dest="trace", action="store_false", default=True,
+        help="do not append a telemetry segment to the run's "
+             "trace.jsonl sidecar",
     )
     runs_prune = runs_sub.add_parser(
         "prune",
@@ -134,6 +156,109 @@ def _cmd_runs_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def timing_rows(records: List[dict]) -> List[dict]:
+    """Per-unit timing breakdown from durable journal records.
+
+    Purely record-driven — no sidecar needed — so it reconstructs the
+    same table for interrupted runs.  Each row is
+    ``{"unit", "wall", "attempts", "source", "outlier"}`` where
+    ``source`` is executed/cached/quarantined/pending and ``outlier``
+    marks executed walls above ``OUTLIER_FACTOR`` x the median executed
+    wall.  Rows sort slowest-first (walls first, then the rest in
+    journal order).
+    """
+    attempts: dict = {}
+    outcome: dict = {}
+    order: List[str] = []
+    for record in records:
+        unit = record.get("unit")
+        if not isinstance(unit, str):
+            continue
+        if unit not in attempts and unit not in outcome:
+            order.append(unit)
+        kind = record.get("kind")
+        if kind == "UNIT_DISPATCHED":
+            attempts[unit] = attempts.get(unit, 0) + 1
+        elif kind == "UNIT_DONE":
+            wall = record.get("wall")
+            outcome[unit] = (
+                float(wall) if isinstance(wall, (int, float)) else None,
+                "executed" if record.get("executed", True) else "cached",
+            )
+        elif kind == "UNIT_QUARANTINED":
+            outcome[unit] = (None, "quarantined")
+    rows = []
+    for unit in order:
+        wall, source = outcome.get(unit, (None, "pending"))
+        rows.append({
+            "unit": unit,
+            "wall": wall,
+            "attempts": attempts.get(unit, 0),
+            "source": source,
+            "outlier": False,
+        })
+    executed_walls = sorted(
+        row["wall"] for row in rows
+        if row["source"] == "executed" and row["wall"] is not None
+    )
+    if executed_walls:
+        mid = len(executed_walls) // 2
+        median = (
+            executed_walls[mid] if len(executed_walls) % 2
+            else (executed_walls[mid - 1] + executed_walls[mid]) / 2.0
+        )
+        if median > 0:
+            for row in rows:
+                if (
+                    row["source"] == "executed"
+                    and row["wall"] is not None
+                    and row["wall"] > OUTLIER_FACTOR * median
+                ):
+                    row["outlier"] = True
+    rows.sort(
+        key=lambda row: (
+            row["wall"] is None,
+            -(row["wall"] or 0.0),
+            row["unit"],
+        )
+    )
+    return rows
+
+
+def _print_timing(info: RunInfo) -> None:
+    records, _valid = replay_records(
+        os.path.join(info.directory, "log.bin")
+    )
+    rows = timing_rows(records)
+    if not rows:
+        print("  timing: no unit records journaled yet")
+        return
+    width = max(len(row["unit"]) for row in rows)
+    width = max(width, len("unit"))
+    print("  per-unit timing (journal-reconstructed):")
+    print(f"    {'unit':<{width}}  {'wall_s':>9}  {'att':>3}  source")
+    for row in rows:
+        wall = (
+            f"{row['wall']:.3f}" if row["wall"] is not None else "-"
+        )
+        line = (
+            f"    {row['unit']:<{width}}  {wall:>9}  "
+            f"{row['attempts']:>3}  {row['source']}"
+        )
+        if row["outlier"]:
+            line += f"  << outlier (>{OUTLIER_FACTOR:.0f}x median)"
+        print(line)
+    sidecar = trace_path(info.directory)
+    if os.path.exists(sidecar):
+        trace = read_trace(sidecar)
+        spans = sum(1 for record in trace if record.get("t") == "span")
+        print(
+            f"  telemetry: trace.jsonl — {len(segments(trace))} "
+            f"segment(s), {spans} span(s) "
+            f"(repro trace export {info.run_id})"
+        )
+
+
 def _cmd_runs_show(args: argparse.Namespace) -> int:
     root = _cache_root(args)
     info = inspect_run(root, args.run_id)
@@ -157,6 +282,8 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
     config = info.manifest.get("config", {})
     for key in sorted(config):
         print(f"  config.{key} = {config[key]!r}")
+    if getattr(args, "timing", False):
+        _print_timing(info)
     return 0
 
 
@@ -165,6 +292,7 @@ def resume_run(
     run_id: str,
     workers: Optional[int] = None,
     use_cache: bool = True,
+    trace: bool = True,
 ) -> int:
     """Resume one journaled run by id; prints the pipeline's report.
 
@@ -196,9 +324,12 @@ def resume_run(
         with open_fleet_journal(
             cache_root, config, effective, resume=True, run_id=run_id
         ) as journal:
-            aggregate = FleetDriver(
-                config, workers=effective, journal=journal
-            ).run()
+            with run_tracing(
+                journal, enabled_=trace, kind="fleet", resumed=True
+            ):
+                aggregate = FleetDriver(
+                    config, workers=effective, journal=journal
+                ).run()
             print(aggregate.render())
             print(journal_status_line(journal))
         return 0
@@ -213,14 +344,17 @@ def resume_run(
         with open_reproduce_journal(
             cache_root, names, scale, resume=True, run_id=run_id
         ) as journal:
-            runs = reproduce_all(
-                parallel=effective > 1,
-                workers=effective,
-                scale=scale,
-                only=names,
-                cache=cache,
-                journal=journal,
-            )
+            with run_tracing(
+                journal, enabled_=trace, kind="reproduce", resumed=True
+            ):
+                runs = reproduce_all(
+                    parallel=effective > 1,
+                    workers=effective,
+                    scale=scale,
+                    only=names,
+                    cache=cache,
+                    journal=journal,
+                )
             for run in runs:
                 print(
                     f"[digest {run.result.name} "
@@ -236,9 +370,12 @@ def resume_run(
         with open_sweep_journal(
             cache_root, spec, resume=True, run_id=run_id
         ) as journal:
-            report = SweepRunner(
-                spec, workers=effective, cache=cache, journal=journal
-            ).run()
+            with run_tracing(
+                journal, enabled_=trace, kind="sweep", resumed=True
+            ):
+                report = SweepRunner(
+                    spec, workers=effective, cache=cache, journal=journal
+                ).run()
             print(report.render())
             print(journal_status_line(journal))
         return 0
@@ -323,4 +460,5 @@ def cmd_runs(args: argparse.Namespace) -> int:
         args.run_id,
         workers=args.workers,
         use_cache=args.cache,
+        trace=args.trace,
     )

@@ -39,6 +39,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs import spans as obs
+
 __all__ = [
     "KILL_AFTER_ENV",
     "RECORD_KINDS",
@@ -164,11 +166,18 @@ class RecordLog:
         if kind not in RECORD_KINDS:
             raise ValueError(f"unknown record kind {kind!r}")
         record = {"kind": kind, **fields}
-        payload = json.dumps(record, sort_keys=True).encode("utf-8")
-        self._handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
-        self._handle.write(payload)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        # Telemetry never rides this log (RECORD_KINDS is closed, and
+        # the kill-after counter must only ever count durable journal
+        # records); the span below lands in the sidecar instead.
+        with obs.span("journal.append", cat="journal", kind=kind):
+            payload = json.dumps(record, sort_keys=True).encode("utf-8")
+            self._handle.write(
+                _FRAME.pack(len(payload), zlib.crc32(payload))
+            )
+            self._handle.write(payload)
+            self._handle.flush()
+            with obs.span("journal.fsync", cat="journal"):
+                os.fsync(self._handle.fileno())
         self._records.append(record)
         _maybe_kill_after_append()
         return record

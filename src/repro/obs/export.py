@@ -1,0 +1,159 @@
+"""Exporters: Chrome/Perfetto trace-event JSON and Prometheus text.
+
+``chrome_trace`` turns a run's ``trace.jsonl`` records into the Chrome
+trace-event format (load at ``ui.perfetto.dev`` or ``chrome://tracing``):
+
+* sync spans → ``"X"`` complete events (stack slices per thread);
+* async spans (overlapping in-flight units) → ``"b"``/``"e"`` pairs on
+  an id, which Perfetto renders as parallel async tracks;
+* instants → ``"i"`` events;
+* segment/process/thread names → ``"M"`` metadata events.
+
+Timestamps: every record carries ``time.monotonic_ns()``; each segment
+header carries a ``(unix_ns, mono_ns)`` anchor pair.  Export maps a
+record to absolute microseconds via its segment's anchor
+(``unix + (ts - mono)``) — CLOCK_MONOTONIC is system-wide on Linux,
+so worker-process records align under the same segment anchor.
+
+``render_prometheus`` flattens a metrics snapshot (the serve
+``metrics`` verb's reply, or a sidecar segment) into Prometheus text
+exposition format (version 0.0.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["chrome_trace", "render_prometheus"]
+
+
+def _anchor_us(
+    record: Dict[str, Any], anchor: Tuple[int, int]
+) -> float:
+    unix_ns, mono_ns = anchor
+    return (unix_ns + (int(record["ts"]) - mono_ns)) / 1000.0
+
+
+def chrome_trace(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Chrome trace-event JSON for one run's trace records.
+
+    Records stream in file order: a ``segment`` header re-anchors the
+    wall-clock mapping for everything after it (resumed runs append a
+    fresh segment with a fresh monotonic epoch).
+    """
+    events: List[Dict[str, Any]] = []
+    # Fallback anchor for records before any header (shouldn't happen,
+    # but torn traces are normal): treat monotonic ns as absolute.
+    anchor: Tuple[int, int] = (0, 0)
+    named_threads: set = set()
+    named_pids: set = set()
+
+    for record in records:
+        kind = record.get("t")
+        if kind == "segment":
+            try:
+                anchor = (int(record["unix_ns"]), int(record["mono_ns"]))
+            except (KeyError, TypeError, ValueError):
+                continue
+            pid = record.get("pid", 0)
+            if pid not in named_pids:
+                named_pids.add(pid)
+                label = f"repro segment {record.get('seq', '?')}"
+                run_id = record.get("run_id")
+                if run_id:
+                    label += f" · {run_id}"
+                events.append({
+                    "ph": "M", "name": "process_name", "pid": pid,
+                    "tid": 0, "args": {"name": label},
+                })
+            continue
+        if kind not in ("span", "instant") or "ts" not in record:
+            continue
+        pid = record.get("pid", 0)
+        tid = record.get("tid", 0)
+        thread = record.get("thread")
+        if thread and (pid, tid) not in named_threads:
+            named_threads.add((pid, tid))
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": tid, "args": {"name": thread},
+            })
+        base = {
+            "name": record.get("name", "?"),
+            "cat": record.get("cat", "run"),
+            "pid": pid,
+            "tid": tid,
+            "ts": _anchor_us(record, anchor),
+            "args": record.get("args", {}),
+        }
+        if kind == "instant":
+            events.append({**base, "ph": "i", "s": "t"})
+        elif record.get("mode") == "async":
+            # Overlapping in-flight unit spans: async begin/end pairs
+            # keyed by a per-process-unique id.
+            span_id = f"{pid}:{record.get('id', 0)}"
+            dur_us = int(record.get("dur", 0)) / 1000.0
+            events.append({**base, "ph": "b", "id": span_id})
+            events.append({
+                **base, "ph": "e", "id": span_id,
+                "ts": base["ts"] + dur_us, "args": {},
+            })
+        else:
+            events.append({
+                **base, "ph": "X",
+                "dur": int(record.get("dur", 0)) / 1000.0,
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -- Prometheus text exposition ------------------------------------
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _numeric(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def _walk(
+    prefix: str, value: Any,
+    lines: List[str], typed: set,
+) -> None:
+    number = _numeric(value)
+    if number is not None:
+        metric = _sanitize(prefix)
+        if metric not in typed:
+            typed.add(metric)
+            kind = "counter" if metric.endswith("_total") else "gauge"
+            lines.append(f"# TYPE {metric} {kind}")
+        if number == int(number):
+            lines.append(f"{metric} {int(number)}")
+        else:
+            lines.append(f"{metric} {number}")
+        return
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _walk(f"{prefix}_{key}", value[key], lines, typed)
+    # strings/lists/None are not representable as samples — skipped.
+
+
+def render_prometheus(
+    snapshot: Dict[str, Any], prefix: str = "repro"
+) -> str:
+    """Flatten a nested numeric snapshot into Prometheus text format."""
+    lines: List[str] = []
+    typed: set = set()
+    for key in sorted(snapshot):
+        _walk(f"{prefix}_{key}", snapshot[key], lines, typed)
+    return "\n".join(lines) + "\n"

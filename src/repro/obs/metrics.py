@@ -1,0 +1,284 @@
+"""Metrics registry: counters, gauges, histograms, atomic snapshot.
+
+One registry API behind the stack's previously fragmented telemetry:
+``CacheStats`` (repro.cache.store), ``PoolCounters``
+(repro.resilience.pool), and ``ServeMetrics`` (repro.serve.metrics)
+are all registry-backed views now — their counters live here, their
+``snapshot()`` methods read here, and a run's telemetry sidecar dumps
+the same snapshots into ``metrics.json``.
+
+Design points:
+
+* **Atomic snapshot.**  ``MetricsRegistry.snapshot()`` takes the
+  registry lock once and reads every instrument under it, so the
+  returned dict is a consistent cut even while worker threads bump
+  counters.
+* **Int-compatible counters.**  The legacy holders exposed plain int
+  fields mutated as ``stats.hits += 1``; the registry-backed views
+  keep that exact call-site syntax via properties
+  (:func:`counter_property`), so no mutation site changed.
+* **Histograms carry ``last``.**  Unit-wall histograms replace the old
+  ``unit_walls.json`` last-measured-wall table; keeping the most
+  recent observation per key preserves longest-first dispatch order
+  bit-for-bit while count/total/min/max ride along for ``--timing``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "counter_property",
+]
+
+
+class Counter:
+    """A monotonic counter (``set`` exists only for property setters)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = lock
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = int(value)
+
+
+class Gauge:
+    """A point-in-time value (queue depth, pool size, ...)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+
+class Histogram:
+    """Summary histogram: count/total/min/max plus the last value."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "last", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last: Optional[float] = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self.last = value
+
+    def merge(self, snap: Dict[str, Any], *, keep_last: bool = False) -> None:
+        """Fold a persisted snapshot in (resume / cross-run merge).
+
+        ``keep_last=True`` preserves this histogram's own ``last`` when
+        it already has observations — session-measured walls must win
+        over persisted ones, exactly like the old ``setdefault`` merge.
+        """
+        with self._lock:
+            count = int(snap.get("count", 0) or 0)
+            if count <= 0:
+                return
+            self.count += count
+            self.total += float(snap.get("total", 0.0) or 0.0)
+            for attr, pick in (("min", min), ("max", max)):
+                theirs = snap.get(attr)
+                if theirs is None:
+                    continue
+                ours = getattr(self, attr)
+                setattr(
+                    self, attr,
+                    float(theirs) if ours is None
+                    else pick(ours, float(theirs)),
+                )
+            if not (keep_last and self.last is not None):
+                theirs_last = snap.get("last")
+                if theirs_last is not None:
+                    self.last = float(theirs_last)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "last": self.last,
+            }
+
+
+Provider = Callable[[], Dict[str, Any]]
+
+
+class MetricsRegistry:
+    """Named instruments plus lazily-evaluated snapshot providers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._providers: Dict[str, Provider] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._counters.setdefault(
+                    name, Counter(name, self._lock)
+                )
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._gauges.setdefault(
+                    name, Gauge(name, self._lock)
+                )
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._histograms.setdefault(
+                    name, Histogram(name, self._lock)
+                )
+        return inst
+
+    def register_provider(self, name: str, provider: Provider) -> None:
+        """Attach a callable whose dict is folded into snapshots."""
+        with self._lock:
+            self._providers[name] = provider
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One consistent cut of every instrument, lock held once."""
+        with self._lock:
+            out: Dict[str, Any] = {}
+            if self._counters:
+                out["counters"] = {
+                    name: c._value for name, c in self._counters.items()
+                }
+            if self._gauges:
+                out["gauges"] = {
+                    name: g._value for name, g in self._gauges.items()
+                }
+            if self._histograms:
+                out["histograms"] = {
+                    name: {
+                        "count": h.count, "total": h.total,
+                        "min": h.min, "max": h.max, "last": h.last,
+                    }
+                    for name, h in self._histograms.items()
+                }
+            providers = list(self._providers.items())
+        for name, provider in providers:
+            try:
+                out[name] = provider()
+            except Exception as exc:  # telemetry must never kill a run
+                out[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+
+def counter_property(name: str) -> property:
+    """An int-compatible property over ``self.registry.counter(name)``.
+
+    Keeps legacy mutation sites (``stats.hits += 1``) and test
+    assertions (``stats.hits == 3``) working unchanged on top of
+    registry-backed storage.
+    """
+
+    def _get(self) -> int:
+        return self.registry.counter(name).value
+
+    def _set(self, value: int) -> None:
+        self.registry.counter(name).set(value)
+
+    return property(_get, _set)
+
+
+class HistogramFamily:
+    """A keyed family of histograms (one per unit id).
+
+    Replaces the driver's flat ``unit_walls.json`` table: ``last(key)``
+    reproduces the old last-measured-wall lookup for longest-first
+    dispatch, while the full summaries persist for timing analysis.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._keys: Dict[str, bool] = {}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def observe(self, key: str, value: float) -> None:
+        self._keys[key] = True
+        self.registry.histogram(key).observe(value)
+
+    def last(self, key: str) -> Optional[float]:
+        if key not in self._keys:
+            return None
+        return self.registry.histogram(key).last
+
+    def keys(self) -> Iterable[str]:
+        return tuple(self._keys)
+
+    def absorb(self, persisted: Dict[str, Dict[str, Any]]) -> None:
+        """Merge persisted summaries; session-recorded ``last`` wins."""
+        for key, snap in persisted.items():
+            if not isinstance(snap, dict):
+                continue
+            self._keys[key] = True
+            self.registry.histogram(key).merge(snap, keep_last=True)
+
+    def export(
+        self, keys: Optional[Iterable[str]] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Snapshots for ``keys`` (default: every observed key)."""
+        selected = tuple(keys) if keys is not None else tuple(self._keys)
+        return {
+            key: self.registry.histogram(key).snapshot()
+            for key in selected
+            if key in self._keys
+        }
+
+    def clear(self) -> None:
+        self._keys.clear()
+        self.registry = MetricsRegistry()

@@ -470,6 +470,7 @@ def compare_reports(
     new: Dict[str, Any],
     baseline: Dict[str, Any],
     max_regression: float = 0.25,
+    gate: str = "each",
 ) -> List[str]:
     """Regressions of ``new`` against a committed baseline report.
 
@@ -479,24 +480,43 @@ def compare_reports(
     digest check (must not flip to False).  Returns human-readable
     problem strings; empty means pass.
 
+    ``gate`` selects the granularity: ``"each"`` (default) floors every
+    shared benchmark individually; ``"geomean"`` floors only the
+    geometric-mean ratio across shared benchmarks — the right gate for
+    tight thresholds (like the tracer's 5% overhead budget), where
+    single-benchmark measurement noise would dominate an individual
+    floor but averages out across the suite.
+
     Benchmarks present in only one report are *not* problems — they are
     warnings (:func:`compare_warnings`): a renamed or newly-added
     scenario should not hard-fail a comparison against an older report.
     """
     problems: List[str] = []
     new_micro = new.get("microbench", {})
+    ratios: List[float] = []
     for name, entry in baseline.get("microbench", {}).items():
         if not isinstance(entry, dict) or "speedup" not in entry:
             continue
         current = new_micro.get(name)
         if not isinstance(current, dict) or "speedup" not in current:
             continue  # one-sided benchmark: warned, not gated
+        ratios.append(current["speedup"] / entry["speedup"])
+        if gate != "each":
+            continue
         floor = entry["speedup"] * (1.0 - max_regression)
         if current["speedup"] < floor:
             problems.append(
                 f"microbench {name!r} speedup regressed: "
                 f"{current['speedup']:.2f}x < floor {floor:.2f}x "
                 f"(baseline {entry['speedup']:.2f}x)"
+            )
+    if gate == "geomean" and ratios:
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        if geomean < 1.0 - max_regression:
+            problems.append(
+                f"suite geomean speedup ratio regressed: "
+                f"{geomean:.3f} < floor {1.0 - max_regression:.3f} "
+                f"(over {len(ratios)} shared benchmark(s))"
             )
     for name, entry in new.get("end_to_end", {}).items():
         if not isinstance(entry, dict):

@@ -46,11 +46,17 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs import spans as obs
+from repro.obs.metrics import MetricsRegistry, counter_property
+
 __all__ = ["PoolCounters", "SupervisedPool", "WorkerEvent"]
 
 #: One worker outcome: ``(kind, task_id, attempt, worker_id, payload)``
-#: where ``kind`` is ``"done"`` (payload is the result) or ``"error"``
-#: (payload is the rendered exception).
+#: where ``kind`` is ``"done"`` (payload is the result), ``"error"``
+#: (payload is the rendered exception), or ``"spans"`` (payload is the
+#: worker-side tracer's drained span records for the attempt — pure
+#: telemetry, always written *before* the outcome frame and never
+#: counted as one).
 WorkerEvent = Tuple[str, str, int, int, Any]
 
 _FRAME_HEADER = struct.Struct(">I")
@@ -115,50 +121,82 @@ def _worker_main(
             return
         if task is None:
             return
-        task_id, attempt, fn, payload, plan = task
+        task_id, attempt, fn, payload, plan, trace = task
+        tracer: Optional[obs.Tracer] = None
+        attempt_span = None
+        if trace:
+            # A worker-local buffered tracer: spans recorded inside the
+            # unit (kernel runs, nested timers) parent under this
+            # attempt span and ship back over the event pipe.
+            tracer = obs.activate(obs.Tracer())
+            attempt_span = tracer.begin(
+                "attempt", cat="pool",
+                args={"unit": task_id, "attempt": attempt},
+            )
         try:
             chaos_module.apply_worker_fault(plan, task_id, attempt)
             result = fn(payload)
             event: WorkerEvent = ("done", task_id, attempt, worker_id, result)
             frame = pickle.dumps(event, protocol=pickle.HIGHEST_PROTOCOL)
         except BaseException as error:  # noqa: BLE001 — report, don't die
+            if attempt_span is not None:
+                attempt_span.args["error"] = type(error).__name__
             event = (
                 "error", task_id, attempt, worker_id,
                 f"{type(error).__name__}: {error}",
             )
             frame = pickle.dumps(event, protocol=pickle.HIGHEST_PROTOCOL)
+        if tracer is not None:
+            tracer.end(attempt_span)
+            obs.deactivate()
+            try:
+                records = tracer.drain()
+                if records:
+                    _write_frame(event_fd, pickle.dumps(
+                        ("spans", task_id, attempt, worker_id, records),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ))
+            except (OSError, pickle.PicklingError, TypeError, ValueError):
+                pass  # telemetry loss must never lose the outcome
         _write_frame(event_fd, frame)
 
 
-@dataclass
 class PoolCounters:
     """Cumulative pool activity over the pool's lifetime.
 
-    The counters are observability surface only (the ``repro serve``
-    ``metrics`` verb, operator dashboards) — no dispatch decision reads
-    them.  ``submitted`` counts task hand-offs, ``completed``/``errored``
-    count parsed worker outcomes, ``crashes`` counts busy workers that
-    died mid-task, ``kills`` counts targeted :meth:`SupervisedPool.
-    kill_task` terminations, and ``respawns`` counts replacement workers
-    (crash reaps and kills both respawn; the initial spawn does not
-    count).
+    Registry-backed (DESIGN.md §14): the counters live in a
+    :class:`~repro.obs.metrics.MetricsRegistry`, read by the ``repro
+    serve`` ``metrics`` verb and the telemetry sidecar alike — no
+    dispatch decision reads them.  ``submitted`` counts task hand-offs,
+    ``completed``/``errored`` count parsed worker outcomes, ``crashes``
+    counts busy workers that died mid-task, ``kills`` counts targeted
+    :meth:`SupervisedPool.kill_task` terminations, and ``respawns``
+    counts replacement workers (crash reaps and kills both respawn; the
+    initial spawn does not count).
     """
 
-    submitted: int = 0
-    completed: int = 0
-    errored: int = 0
-    crashes: int = 0
-    kills: int = 0
-    respawns: int = 0
+    FIELDS = (
+        "submitted", "completed", "errored",
+        "crashes", "kills", "respawns",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+
+    submitted = counter_property("pool.submitted")
+    completed = counter_property("pool.completed")
+    errored = counter_property("pool.errored")
+    crashes = counter_property("pool.crashes")
+    kills = counter_property("pool.kills")
+    respawns = counter_property("pool.respawns")
 
     def snapshot(self) -> Dict[str, int]:
+        counters = self.registry.snapshot().get("counters", {})
         return {
-            "submitted": self.submitted,
-            "completed": self.completed,
-            "errored": self.errored,
-            "crashes": self.crashes,
-            "kills": self.kills,
-            "respawns": self.respawns,
+            name: int(counters.get(f"pool.{name}", 0))
+            for name in self.FIELDS
         }
 
 
@@ -268,12 +306,14 @@ class SupervisedPool:
         attempt: int,
         payload: Any,
         plan: Optional[Dict[str, Any]] = None,
+        trace: bool = False,
     ) -> int:
         """Hand one task to an idle worker; returns the worker id.
 
         ``plan`` is an optional chaos-plan dict shipped inside the task
         (not via environment inheritance) so warm workers forked before
-        the plan existed still honor it.
+        the plan existed still honor it.  ``trace`` asks the worker to
+        record attempt spans and ship them back as a ``spans`` event.
         """
         for worker_id, worker in self._workers.items():
             if worker.task is None:
@@ -281,7 +321,7 @@ class SupervisedPool:
                 self.counters.submitted += 1
                 try:
                     worker.task_writer.send(
-                        (task_id, attempt, fn, payload, plan)
+                        (task_id, attempt, fn, payload, plan, trace)
                     )
                 except (BrokenPipeError, OSError):
                     # The worker died between polls; reap_crashed will
@@ -326,6 +366,8 @@ class SupervisedPool:
                 self.counters.completed += 1
             elif kind == "error":
                 self.counters.errored += 1
+            else:
+                continue  # "spans": telemetry precedes the outcome
             if worker.task == (task_id, attempt):
                 worker.task = None
         return events

@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import spans as obs
 from repro.resilience.chaos import ChaosPlan, active_plan
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.quarantine import QuarantineLog, QuarantineRecord
@@ -183,6 +184,18 @@ def supervised_map(
     inflight: Dict[str, Tuple[int, float]] = {}
     sequence = 0
 
+    # Per-unit telemetry spans (floating/async: in-flight units overlap
+    # on this dispatcher thread).  Opened at first dispatch, closed on
+    # completion or quarantine; span records never influence dispatch.
+    tracer = obs.current()
+    unit_spans: Dict[str, Any] = {}
+
+    def close_unit_span(unit_id: str, **final_args: Any) -> None:
+        span_ = unit_spans.pop(unit_id, None)
+        if span_ is not None and tracer is not None:
+            span_.args.update(final_args)
+            tracer.end(span_)
+
     def fail(unit_id: str, attempt: int, kind: str, message: str) -> None:
         nonlocal sequence
         outcome.failures.append(
@@ -197,12 +210,21 @@ def supervised_map(
                 error=message,
             )
             outcome.quarantined.append(record)
+            obs.instant(
+                "pool.quarantine", cat="pool",
+                unit=unit_id, fault=kind, attempts=attempt + 1,
+            )
+            close_unit_span(unit_id, outcome="quarantined", fault=kind)
             if quarantine is not None:
                 quarantine.record(record)
             if on_quarantine is not None:
                 on_quarantine(record)
             return
         outcome.retried += 1
+        obs.instant(
+            "pool.retry", cat="pool",
+            unit=unit_id, attempt=attempt + 1, fault=kind,
+        )
         ready_at = time.monotonic() + policy.backoff_delay(unit_id, attempt)
         sequence += 1
         heapq.heappush(delayed, (ready_at, sequence, unit_id, attempt + 1))
@@ -230,8 +252,18 @@ def supervised_map(
                 unit_id, attempt = pending.popleft()
                 if on_dispatch is not None:
                     on_dispatch(unit_id, attempt)
+                if tracer is not None and unit_id not in unit_spans:
+                    unit_spans[unit_id] = tracer.begin(
+                        unit_id, cat="unit",
+                        args={"context": context}, attach=False,
+                    )
+                obs.instant(
+                    "pool.dispatch", cat="pool",
+                    unit=unit_id, attempt=attempt,
+                )
                 pool.submit(
-                    fn, unit_id, attempt, payloads[unit_id], plan_dict
+                    fn, unit_id, attempt, payloads[unit_id], plan_dict,
+                    trace=tracer is not None,
                 )
                 deadline = (
                     now + policy.unit_timeout_s
@@ -255,12 +287,21 @@ def supervised_map(
             for kind, unit_id, attempt, _worker, payload in pool.poll(
                 timeout=poll_interval_s
             ):
+                if kind == "spans":
+                    # Worker-shipped attempt spans: pure telemetry.
+                    # Absorbed even for stale attempts — a killed
+                    # worker's measurements still happened.
+                    obs.absorb(payload)
+                    continue
                 state = inflight.get(unit_id)
                 if state is None or state[0] != attempt:
                     continue  # stale event from a killed worker
                 del inflight[unit_id]
                 if kind == "done":
                     outcome.results[unit_id] = payload
+                    close_unit_span(
+                        unit_id, outcome="done", attempts=attempt + 1
+                    )
                     if on_result is not None:
                         on_result(unit_id, payload)
                 else:
@@ -270,12 +311,21 @@ def supervised_map(
                 if state is None or state[0] != attempt:
                     continue
                 del inflight[unit_id]
+                obs.instant(
+                    "pool.crash", cat="pool",
+                    unit=unit_id, attempt=attempt,
+                )
                 fail(unit_id, attempt, "crash", "worker process died")
             now = time.monotonic()
             for unit_id, (attempt, deadline) in list(inflight.items()):
                 if now > deadline:
                     pool.kill_task(unit_id)
                     del inflight[unit_id]
+                    obs.instant(
+                        "pool.kill", cat="pool",
+                        unit=unit_id, attempt=attempt,
+                        deadline_s=policy.unit_timeout_s,
+                    )
                     fail(
                         unit_id,
                         attempt,

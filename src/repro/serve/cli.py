@@ -126,6 +126,10 @@ def add_serve_parser(sub: argparse._SubParsersAction) -> None:
     metrics = serve_sub.add_parser(
         "metrics", help="queue / pool / cache / journal counters"
     )
+    metrics.add_argument(
+        "--prometheus", action="store_true",
+        help="print Prometheus text exposition instead of JSON",
+    )
     _add_client_flags(metrics)
 
     drain = serve_sub.add_parser(
@@ -272,6 +276,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.serve_command == "cancel":
             return _print_reply(_client(args).cancel(args.job_id))
         if args.serve_command == "metrics":
+            if args.prometheus:
+                reply = _client(args).metrics(fmt="prometheus")
+                if not reply.get("ok"):
+                    return _print_reply(reply)
+                print(reply.get("text", ""), end="")
+                return 0
             return _print_reply(_client(args).metrics())
         if args.serve_command == "drain":
             return _print_reply(_client(args).drain())

@@ -117,8 +117,11 @@ class ServeClient:
             message["job_id"] = job_id
         return self.request(message)
 
-    def metrics(self) -> Dict[str, Any]:
-        return self.request({"verb": "metrics"})
+    def metrics(self, fmt: Optional[str] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"verb": "metrics"}
+        if fmt is not None:
+            message["format"] = fmt
+        return self.request(message)
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self.request({"verb": "cancel", "job_id": job_id})

@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.journal.registry import RunInfo
 from repro.journal.run import RunJournal, derive_run_id
+from repro.obs import run_tracing
 from repro.resilience.supervisor import (
     DispatchCancelled,
     set_cancel_token,
@@ -296,6 +297,8 @@ def execute_job(
         DispatchCancelled: the job was cancelled (journal resumable).
         Exception: whatever the pipeline raised (job failed).
     """
+    from functools import partial
+
     from repro.cache import ResultCache
     from repro.journal.pipelines import (
         fleet_config_from_payload,
@@ -319,15 +322,9 @@ def execute_job(
                 resume=True, run_id=job.run_id,
             )
             tap = JournalTap(journal, job, emit)
-            emit(
-                "started",
-                run_id=journal.run_id,
-                units=len(journal.units),
-                replayed=journal.stats.replayed,
-            )
-            FleetDriver(
+            run_pipeline = FleetDriver(
                 config, workers=job.workers, journal=tap
-            ).run()
+            ).run
         elif job.kind == "reproduce":
             from repro.experiments.driver import reproduce_all
 
@@ -338,13 +335,8 @@ def execute_job(
             )
             cache = ResultCache(cache_root)
             tap = JournalTap(journal, job, emit)
-            emit(
-                "started",
-                run_id=journal.run_id,
-                units=len(journal.units),
-                replayed=journal.stats.replayed,
-            )
-            reproduce_all(
+            run_pipeline = partial(
+                reproduce_all,
                 parallel=job.workers > 1,
                 workers=job.workers,
                 scale=scale,
@@ -361,17 +353,31 @@ def execute_job(
             )
             cache = ResultCache(cache_root)
             tap = JournalTap(journal, job, emit)
-            emit(
-                "started",
-                run_id=journal.run_id,
-                units=len(journal.units),
-                replayed=journal.stats.replayed,
-            )
-            SweepRunner(
+            run_pipeline = SweepRunner(
                 spec, workers=job.workers, cache=cache, journal=tap
-            ).run()
+            ).run
         else:  # pragma: no cover — admission validates kinds
             raise ValueError(f"unknown job kind {job.kind!r}")
+        emit(
+            "started",
+            run_id=journal.run_id,
+            units=len(journal.units),
+            replayed=journal.stats.replayed,
+        )
+        # The admission→execution span: the job's whole pipeline runs
+        # under a traced root whose sidecar lands next to the journal
+        # (DESIGN.md §14); queue wait is admission-to-start.
+        queue_wait_s = max(
+            0.0, (job.started_at or time.time()) - job.submitted_at
+        )
+        with run_tracing(
+            journal,
+            job_id=job.job_id,
+            kind=job.kind,
+            adopted=job.adopted,
+            queue_wait_s=round(queue_wait_s, 6),
+        ):
+            run_pipeline()
         stats = journal.stats
         return {
             "digest": journal.sealed_digest,
@@ -383,7 +389,7 @@ def execute_job(
                 "total": len(journal.units),
             },
             "cache": (
-                cache.stats.__dict__.copy() if cache is not None else {}
+                cache.stats.snapshot() if cache is not None else {}
             ),
         }
     finally:

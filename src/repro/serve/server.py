@@ -507,15 +507,22 @@ class ServeServer:
             return False
         if verb == "metrics":
             assert self._queue is not None
-            await self._reply(writer, protocol.ok(
-                metrics=self.metrics.snapshot(
-                    self.jobs.values(),
-                    queue_depth=self._queue.qsize() + len(self._backlog),
-                    queue_limit=self.queue_limit,
-                    accepting=self._accepting,
-                    draining=self._draining,
-                )
-            ))
+            snap = self.metrics.snapshot(
+                self.jobs.values(),
+                queue_depth=self._queue.qsize() + len(self._backlog),
+                queue_limit=self.queue_limit,
+                accepting=self._accepting,
+                draining=self._draining,
+            )
+            if message.get("format") == "prometheus":
+                from repro.obs.export import render_prometheus
+
+                await self._reply(writer, protocol.ok(
+                    format="prometheus",
+                    text=render_prometheus(snap),
+                ))
+            else:
+                await self._reply(writer, protocol.ok(metrics=snap))
             return False
         if verb == "cancel":
             await self._reply(writer, self._handle_cancel(message))

@@ -56,6 +56,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs import spans as _obs
 from repro.sim.errors import (
     KernelStopped,
     ProcessKilled,
@@ -469,6 +470,19 @@ class Kernel:
         Returns:
             The simulation time at return.
         """
+        # One enabled-check per run() call (not per event): with tracing
+        # active the whole drain is wrapped in a ``kernel.run`` span; the
+        # event loop itself is never instrumented (DESIGN.md §14).
+        if _obs.enabled():
+            with _obs.span("kernel.run", cat="sim") as sim_span:
+                before_us = self._now
+                now_us = self._run_loop(until)
+                if sim_span is not None:
+                    sim_span.args["advanced_us"] = now_us - before_us
+                return now_us
+        return self._run_loop(until)
+
+    def _run_loop(self, until: Optional[int] = None) -> int:
         self._check_running()
         # The innermost loop of the whole reproduction: one iteration per
         # simulated occurrence.  The process-resume path is inlined (no

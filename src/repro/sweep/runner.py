@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.cache import ResultCache, sweep_unit_key
 from repro.journal.run import RunJournal
+from repro.obs import spans as obs
 from repro.resilience.chaos import ChaosPlan
 from repro.resilience.policy import RetryPolicy
 from repro.resilience.quarantine import QuarantineLog
@@ -77,6 +78,13 @@ class SweepRunner:
 
     def run(self) -> CampaignReport:
         """Execute the grid and aggregate the safety scoreboard."""
+        with obs.span(
+            "pipeline", cat="sweep",
+            campaign=self.spec.name, workers=self.workers,
+        ):
+            return self._run()
+
+    def _run(self) -> CampaignReport:
         started = time.perf_counter()
         units = self.spec.expand()
         records: Dict[str, SafetyRecord] = {}
@@ -142,7 +150,8 @@ class SweepRunner:
                 started = time.perf_counter()
                 if journal is not None:
                     journal.record_dispatched(unit_id, 0)
-                record = run_unit(unit)
+                with obs.span(unit_id, cat="unit", context="sweep"):
+                    record = run_unit(unit)
                 if self.cache is not None:
                     self.cache.put(
                         sweep_unit_key(unit.cache_payload()), record

@@ -155,23 +155,38 @@ def test_store_leaves_no_temp_debris(tmp_path):
     assert leftovers == []
 
 
-def test_unit_walls_persist_and_merge(tmp_path):
+def _summary(wall):
+    return {"count": 1, "total": wall, "min": wall, "max": wall,
+            "last": wall}
+
+
+def test_unit_timings_persist_and_merge(tmp_path):
     cache = ResultCache(str(tmp_path))
-    cache.save_unit_walls({"fig7/ObjectStore/SmartMemory@1.0": 12.5})
-    cache.save_unit_walls({"fig7/SQL/SmartMemory@1.0": 11.0})
-    walls = ResultCache(str(tmp_path)).load_unit_walls()
-    assert walls == {
-        "fig7/ObjectStore/SmartMemory@1.0": 12.5,
-        "fig7/SQL/SmartMemory@1.0": 11.0,
-    }
+    cache.save_unit_timings({
+        "fig7/ObjectStore/SmartMemory@1.0": _summary(12.5),
+    })
+    cache.save_unit_timings({
+        "fig7/ObjectStore/SmartMemory@1.0": _summary(10.0),
+        "fig7/SQL/SmartMemory@1.0": _summary(11.0),
+    })
+    timings = ResultCache(str(tmp_path)).load_unit_timings()
+    merged = timings["fig7/ObjectStore/SmartMemory@1.0"]
+    # Counts/totals accumulate, min/max widen, last takes the fresher
+    # observation — the value longest-first dispatch reads.
+    assert merged["count"] == 2
+    assert merged["total"] == 22.5
+    assert merged["min"] == 10.0
+    assert merged["max"] == 12.5
+    assert merged["last"] == 10.0
+    assert timings["fig7/SQL/SmartMemory@1.0"]["last"] == 11.0
 
 
-def test_unit_walls_corrupt_file_is_empty(tmp_path):
+def test_unit_timings_corrupt_file_is_empty(tmp_path):
     cache = ResultCache(str(tmp_path))
     os.makedirs(tmp_path, exist_ok=True)
-    with open(cache._walls_path, "w", encoding="utf-8") as handle:
+    with open(cache._timings_path, "w", encoding="utf-8") as handle:
         handle.write("{broken")
-    assert cache.load_unit_walls() == {}
+    assert cache.load_unit_timings() == {}
 
 
 # -- driver integration ------------------------------------------------------
@@ -275,27 +290,29 @@ def test_scale_is_part_of_the_key(tmp_path):
 def test_executed_walls_recorded_and_persisted(tmp_path):
     cache = ResultCache(str(tmp_path))
     reproduce_all(only=["fig6-left"], scale=SCALE, cache=cache)
-    walls = cache.load_unit_walls()
-    assert walls, "executed unit walls should persist with the cache"
-    for key, wall in walls.items():
+    timings = cache.load_unit_timings()
+    assert timings, "executed unit timings should persist with the cache"
+    for key, summary in timings.items():
         assert key.startswith("fig6-left/")
-        assert wall >= 0.0
+        assert summary["count"] >= 1
+        assert summary["last"] >= 0.0
+        assert summary["min"] <= summary["last"] <= summary["max"]
 
 
 def test_dispatch_costs_prefer_recorded_walls():
     payloads = [("fig7", "a", 1.0), ("fig7", "b", 1.0)]
     units = {"fig7": [("fig7", "a"), ("fig7", "b")]}
     try:
-        driver._recorded_unit_walls[driver._wall_key("fig7", "a", 1.0)] = 9.0
+        driver._unit_timings.observe(
+            driver._wall_key("fig7", "a", 1.0), 9.0
+        )
         costs = driver._dispatch_costs(payloads, units, 1.0)
         assert costs[("fig7", "a")] == 9.0
         # the unmeasured unit gets the calibrated estimate, comparable
         # in magnitude to the measured wall (same heuristic => same cost)
         assert costs[("fig7", "b")] == pytest.approx(9.0)
     finally:
-        driver._recorded_unit_walls.pop(
-            driver._wall_key("fig7", "a", 1.0), None
-        )
+        driver._unit_timings.clear()
 
 
 def test_pickled_objects_live_under_fanout_dirs(tmp_path):

@@ -1,0 +1,105 @@
+"""Metrics registry tests: instruments, snapshot, int-compat views."""
+
+import threading
+
+from repro.obs.metrics import (
+    HistogramFamily,
+    MetricsRegistry,
+    counter_property,
+)
+
+
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.counter("c").inc(4)
+    registry.gauge("g").set(2.5)
+    registry.histogram("h").observe(1.0)
+    registry.histogram("h").observe(3.0)
+    snap = registry.snapshot()
+    assert snap["counters"]["c"] == 5
+    assert snap["gauges"]["g"] == 2.5
+    assert snap["histograms"]["h"] == {
+        "count": 2, "total": 4.0, "min": 1.0, "max": 3.0, "last": 3.0,
+    }
+
+
+def test_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.histogram("x") is registry.histogram("x")
+
+
+def test_provider_folds_into_snapshot_and_errors_are_contained():
+    registry = MetricsRegistry()
+    registry.register_provider("extra", lambda: {"depth": 3})
+    registry.register_provider(
+        "broken", lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+    )
+    snap = registry.snapshot()
+    assert snap["extra"] == {"depth": 3}
+    assert "RuntimeError" in snap["broken"]["error"]
+
+
+def test_counter_property_is_int_compatible():
+    class Holder:
+        hits = counter_property("cache.hits")
+
+        def __init__(self):
+            self.registry = MetricsRegistry()
+
+    holder = Holder()
+    holder.hits += 1
+    holder.hits += 2
+    assert holder.hits == 3
+    assert holder.registry.counter("cache.hits").value == 3
+    holder.hits = 0
+    assert holder.hits == 0
+
+
+def test_concurrent_increments_do_not_lose_counts():
+    registry = MetricsRegistry()
+    counter = registry.counter("n")
+
+    def bump():
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=bump) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 4000
+
+
+def test_histogram_family_last_and_absorb_merge():
+    family = HistogramFamily()
+    family.observe("u1", 2.0)
+    assert "u1" in family
+    assert family.last("u1") == 2.0
+    assert family.last("missing") is None
+    # Persisted summaries merge, but session-measured last wins.
+    family.absorb({
+        "u1": {"count": 3, "total": 30.0, "min": 5.0, "max": 15.0,
+               "last": 10.0},
+        "u2": {"count": 1, "total": 7.0, "min": 7.0, "max": 7.0,
+               "last": 7.0},
+        "junk": "not-a-dict",
+    })
+    assert family.last("u1") == 2.0
+    assert family.last("u2") == 7.0
+    export = family.export()
+    assert export["u1"]["count"] == 4
+    assert export["u1"]["min"] == 2.0
+    assert export["u1"]["max"] == 15.0
+    assert sorted(family.keys()) == ["u1", "u2"]
+    assert family.export(["u2", "missing"]) == {"u2": export["u2"]}
+
+
+def test_histogram_family_clear_resets():
+    family = HistogramFamily()
+    family.observe("u1", 1.0)
+    family.clear()
+    assert family.last("u1") is None
+    assert family.export() == {}

@@ -1,0 +1,129 @@
+"""Tracer unit tests: nesting, threads, async spans, ambient API."""
+
+import threading
+
+import pytest
+
+from repro.obs import spans as obs
+from repro.obs.spans import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracer():
+    """Every test starts and ends with tracing off."""
+    obs.deactivate()
+    yield
+    obs.deactivate()
+
+
+def _spans(records):
+    return [r for r in records if r["t"] == "span"]
+
+
+def test_nested_spans_parent_correctly():
+    tracer = Tracer()
+    with tracer.span("outer", cat="run"):
+        with tracer.span("inner", cat="cache"):
+            pass
+    records = _spans(tracer.drain())
+    # Records emit at end: inner closes first.
+    inner, outer = records
+    assert inner["name"] == "inner"
+    assert inner["parent"] == outer["id"]
+    assert outer["parent"] is None
+    assert inner["ts"] >= outer["ts"]
+    assert inner["dur"] >= 0 and outer["dur"] >= 0
+    assert outer["dur"] >= inner["dur"]
+
+
+def test_exception_is_recorded_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("nope")
+    (record,) = _spans(tracer.drain())
+    assert record["args"]["error"] == "ValueError"
+
+
+def test_threads_get_independent_stacks():
+    tracer = Tracer()
+    seen = {}
+
+    def worker():
+        with tracer.span("worker-span") as sp:
+            seen["parent"] = sp.parent_id
+
+    with tracer.span("main-span"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    # The worker thread's stack is empty: no cross-thread parenting.
+    assert seen["parent"] is None
+    records = _spans(tracer.drain())
+    tids = {r["name"]: r["tid"] for r in records}
+    assert tids["worker-span"] != tids["main-span"]
+
+
+def test_floating_span_parents_but_does_not_become_parent():
+    tracer = Tracer()
+    root = tracer.begin("root")
+    floating = tracer.begin("unit-a", cat="unit", attach=False)
+    with tracer.span("sibling"):
+        pass
+    tracer.end(floating)
+    tracer.end(root)
+    by_name = {r["name"]: r for r in _spans(tracer.drain())}
+    assert by_name["unit-a"]["mode"] == "async"
+    assert by_name["unit-a"]["parent"] == by_name["root"]["id"]
+    # The floating span never went on the stack: the sibling parents
+    # under root, not under unit-a.
+    assert by_name["sibling"]["parent"] == by_name["root"]["id"]
+
+
+def test_ambient_span_is_noop_when_disabled():
+    with obs.span("ignored") as sp:
+        assert sp is None
+    obs.instant("also-ignored")  # must not raise
+    obs.absorb([{"t": "span"}])  # must not raise
+    assert not obs.enabled()
+
+
+def test_ambient_span_records_when_active():
+    tracer = obs.activate(Tracer())
+    with obs.span("visible", cat="pool", unit="u1") as sp:
+        assert sp is not None
+        sp.args["outcome"] = "done"
+    obs.instant("tick", cat="pool", unit="u1")
+    obs.deactivate()
+    records = tracer.drain()
+    span_record = next(r for r in records if r["t"] == "span")
+    assert span_record["args"] == {"unit": "u1", "outcome": "done"}
+    instant = next(r for r in records if r["t"] == "instant")
+    assert instant["name"] == "tick"
+    assert not obs.enabled()
+
+
+def test_absorb_feeds_foreign_records_through():
+    tracer = obs.activate(Tracer())
+    shipped = [{"t": "span", "name": "attempt", "pid": 12345}]
+    obs.absorb(shipped)
+    assert tracer.drain() == shipped
+
+
+def test_sink_mode_writes_through_without_buffering():
+    lines = []
+    tracer = Tracer(sink=lines.append)
+    with tracer.span("s"):
+        pass
+    assert len(lines) == 1
+    assert tracer.drain() == []
+
+
+def test_timestamps_are_monotonic_per_thread():
+    tracer = Tracer()
+    for index in range(5):
+        with tracer.span(f"s{index}"):
+            pass
+    records = _spans(tracer.drain())
+    starts = [r["ts"] for r in records]
+    assert starts == sorted(starts)

@@ -129,3 +129,21 @@ def test_cli_compare_missing_file_raises():
     with pytest.raises(OSError):
         main(["bench", "--compare", "/nonexistent/a.json",
               "/nonexistent/b.json"])
+
+
+def test_compare_reports_geomean_gate_tolerates_single_noise():
+    # One benchmark dips 10% while the others hold: the per-benchmark
+    # gate fires at 5%, the geomean gate (the tracer-overhead CI shape)
+    # averages the noise out and passes.
+    baseline = _fake_report({"a": 2.0, "b": 3.0, "c": 4.0})
+    noisy = _fake_report({"a": 1.8, "b": 3.0, "c": 4.1})
+    assert compare_reports(noisy, baseline, max_regression=0.05)
+    assert compare_reports(
+        noisy, baseline, max_regression=0.05, gate="geomean"
+    ) == []
+    # A real across-the-board regression still fails the geomean gate.
+    slower = _fake_report({"a": 1.8, "b": 2.7, "c": 3.6})
+    problems = compare_reports(
+        slower, baseline, max_regression=0.05, gate="geomean"
+    )
+    assert len(problems) == 1 and "geomean" in problems[0]

@@ -336,6 +336,22 @@ def test_metrics_snapshot_shape(server_thread):
     assert journal["executed"] + journal["replayed"] == journal["total"]
 
 
+def test_metrics_prometheus_exposition(server_thread):
+    client = server_thread().start()
+    reply = client.submit("fleet", fleet_payload(QUICK), workers=2)
+    client.wait(reply["job_id"])
+    prom = client.metrics(fmt="prometheus")
+    assert prom["ok"]
+    assert prom["format"] == "prometheus"
+    text = prom["text"]
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert "repro_jobs_submitted 1" in text
+    assert "repro_queue_accepting 1" in text
+    assert "repro_pool_submitted" in text
+    # The default JSON shape is unchanged by the format knob.
+    assert client.metrics()["metrics"]["jobs"]["submitted"] == 1
+
+
 def test_watch_unknown_job_and_late_watch_replays_backlog(server_thread):
     client = server_thread().start()
     with pytest.raises(ValueError, match="unknown job"):
